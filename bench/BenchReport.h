@@ -1,0 +1,64 @@
+//===- bench/BenchReport.h - Shared reproduction-report helpers -*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+// Every bench binary prints a "reproduction report" — the rows the paper
+// reports for the corresponding table/figure/example, paper value next to
+// measured value — and then runs its google-benchmark timings.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_BENCH_BENCHREPORT_H
+#define OMEGA_BENCH_BENCHREPORT_H
+
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <iostream>
+#include <string>
+
+namespace omega {
+
+inline void reportHeader(const std::string &Id, const std::string &Title) {
+  std::cout << "\n=== " << Id << ": " << Title << " ===\n";
+}
+
+inline void reportRow(const std::string &What, const std::string &Paper,
+                      const std::string &Measured) {
+  // Flag a mismatch only when both sides are plain integers; symbolic
+  // answers print in our notation and are verified by the test suite.
+  auto IsInt = [](const std::string &S) {
+    if (S.empty())
+      return false;
+    size_t I = S[0] == '-' ? 1 : 0;
+    if (I == S.size())
+      return false;
+    for (; I < S.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(S[I])))
+        return false;
+    return true;
+  };
+  bool Differs = IsInt(Paper) && IsInt(Measured) && Paper != Measured;
+  std::cout << "  " << What << ": paper=" << Paper
+            << " measured=" << Measured << (Differs ? "  [DIFFERS]" : "")
+            << "\n";
+}
+
+inline int runBenchmarks(int Argc, char **Argv) {
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace omega
+
+#define OMEGA_BENCH_MAIN(ReportFn)                                            \
+  int main(int argc, char **argv) {                                          \
+    ReportFn();                                                               \
+    return omega::runBenchmarks(argc, argv);                                  \
+  }
+
+#endif // OMEGA_BENCH_BENCHREPORT_H

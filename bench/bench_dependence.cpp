@@ -1,0 +1,82 @@
+//===- bench/bench_dependence.cpp - X17: dependence counting -------------===//
+//
+// Counting dependence pairs and pipeline communication volumes — the
+// paper's §1.1 communication application on top of the Omega test's
+// original dependence machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+#include "apps/Dependence.h"
+
+using namespace omega;
+
+namespace {
+
+AffineExpr var(const char *N) { return AffineExpr::variable(N); }
+
+LoopNest wavefront() {
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(1), var("n"));
+  Nest.add("j", AffineExpr(1), var("n"));
+  return Nest;
+}
+
+void report() {
+  reportHeader("X17", "dependence counting & pipeline communication");
+  LoopNest Nest = wavefront();
+  ArrayRef Write{"a", {var("i"), var("j")}};
+  ArrayRef ReadUp{"a", {var("i") - AffineExpr(1), var("j")}};
+
+  reportRow("wavefront has flow dependence", "yes",
+            hasDependence(Nest, Write, ReadUp) ? "yes" : "no");
+  PiecewiseValue Pairs = countDependencePairs(Nest, Write, ReadUp);
+  reportRow("dependence pairs, symbolic", "n(n-1)", Pairs.toString());
+  reportRow("pairs at n=100", "9900",
+            Pairs.evaluateInt({{"n", BigInt(100)}}).toString());
+
+  PiecewiseValue Comm =
+      splitCommunicationCells(Nest, Write, ReadUp, "i", "s");
+  reportRow("cells crossing a split of i at s", "n per interior split",
+            Comm.toString());
+  reportRow("at n=100, s=50", "100",
+            Comm.evaluateInt({{"n", BigInt(100)}, {"s", BigInt(50)}})
+                .toString());
+}
+
+void BM_HasDependence(benchmark::State &State) {
+  LoopNest Nest = wavefront();
+  ArrayRef Write{"a", {var("i"), var("j")}};
+  ArrayRef ReadUp{"a", {var("i") - AffineExpr(1), var("j")}};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hasDependence(Nest, Write, ReadUp));
+}
+BENCHMARK(BM_HasDependence)->Unit(benchmark::kMillisecond);
+
+void BM_CountDependences(benchmark::State &State) {
+  LoopNest Nest = wavefront();
+  ArrayRef Write{"a", {var("i"), var("j")}};
+  ArrayRef ReadUp{"a", {var("i") - AffineExpr(1), var("j")}};
+  for (auto _ : State) {
+    PiecewiseValue V = countDependencePairs(Nest, Write, ReadUp);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_CountDependences)->Unit(benchmark::kMillisecond);
+
+void BM_SplitCommunication(benchmark::State &State) {
+  LoopNest Nest = wavefront();
+  ArrayRef Write{"a", {var("i"), var("j")}};
+  ArrayRef ReadUp{"a", {var("i") - AffineExpr(1), var("j")}};
+  for (auto _ : State) {
+    PiecewiseValue V =
+        splitCommunicationCells(Nest, Write, ReadUp, "i", "s");
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_SplitCommunication)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+OMEGA_BENCH_MAIN(report)

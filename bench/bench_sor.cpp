@@ -1,0 +1,112 @@
+//===- bench/bench_sor.cpp - X11: §6 Example 5 / Figure 2 (SOR) ----------===//
+//
+// The SOR loop's distinct memory locations (N² - 4; 249996 at N = 500)
+// and distinct 16-element cache lines (16000 at N = 500), computed
+// symbolically via the uniformly-generated-set summarization of §5.1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+#include "apps/MemoryModel.h"
+
+#include <set>
+
+using namespace omega;
+
+namespace {
+
+AffineExpr var(const char *N) { return AffineExpr::variable(N); }
+
+LoopNest sorNest() {
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(2), var("N") - AffineExpr(1));
+  Nest.add("j", AffineExpr(2), var("N") - AffineExpr(1));
+  return Nest;
+}
+
+std::vector<ArrayRef> sorRefs() {
+  return {{"a", {var("i"), var("j")}},
+          {"a", {var("i") - AffineExpr(1), var("j")}},
+          {"a", {var("i") + AffineExpr(1), var("j")}},
+          {"a", {var("i"), var("j") - AffineExpr(1)}},
+          {"a", {var("i"), var("j") + AffineExpr(1)}}};
+}
+
+void report() {
+  reportHeader("X11", "Figure 2: SOR distinct locations & cache lines");
+  PiecewiseValue Cells = countDistinctLocations(sorNest(), sorRefs(), "a");
+  reportRow("distinct locations, symbolic", "(N^2 - 4 if N >= 3)",
+            Cells.toString());
+  reportRow("at N=500", "249996",
+            Cells.evaluateInt({{"N", BigInt(500)}}).toString());
+
+  CacheMapping Map; // [(i-1) div 16, j].
+  PiecewiseValue Lines =
+      countDistinctCacheLines(sorNest(), sorRefs(), "a", Map);
+  reportRow("distinct 16-element cache lines at N=500", "16000",
+            Lines.evaluateInt({{"N", BigInt(500)}}).toString());
+  reportRow("symbolic shape",
+            "N(1 + (N-1) div 16) plus boundary corrections (the paper's "
+            "printed formula is OCR-garbled; see EXPERIMENTS.md)",
+            "piecewise with 16 residue classes");
+  // Validate against brute-force line enumeration at a few N.
+  for (int64_t N : {100, 137, 500}) {
+    std::set<std::pair<int64_t, int64_t>> Truth;
+    for (int64_t I = 2; I <= N - 1; ++I)
+      for (int64_t J = 2; J <= N - 1; ++J)
+        for (auto [DI, DJ] : {std::pair<int64_t, int64_t>{0, 0},
+                              {-1, 0},
+                              {1, 0},
+                              {0, -1},
+                              {0, 1}}) {
+          int64_t X = I + DI - 1;
+          Truth.insert({X >= 0 ? X / 16 : (X - 15) / 16, J + DJ});
+        }
+    reportRow("brute-force lines at N=" + std::to_string(N),
+              std::to_string(Truth.size()),
+              Lines.evaluateInt({{"N", BigInt(N)}}).toString());
+  }
+}
+
+void BM_SORLocations(benchmark::State &State) {
+  LoopNest Nest = sorNest();
+  std::vector<ArrayRef> Refs = sorRefs();
+  for (auto _ : State) {
+    PiecewiseValue V = countDistinctLocations(Nest, Refs, "a");
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_SORLocations)->Unit(benchmark::kMillisecond);
+
+void BM_SORCacheLines(benchmark::State &State) {
+  LoopNest Nest = sorNest();
+  std::vector<ArrayRef> Refs = sorRefs();
+  CacheMapping Map;
+  for (auto _ : State) {
+    PiecewiseValue V = countDistinctCacheLines(Nest, Refs, "a", Map);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_SORCacheLines)->Unit(benchmark::kMillisecond);
+
+void BM_SORCacheLinesVsLineSize(benchmark::State &State) {
+  LoopNest Nest = sorNest();
+  std::vector<ArrayRef> Refs = sorRefs();
+  CacheMapping Map;
+  Map.LineSize = BigInt(State.range(0));
+  for (auto _ : State) {
+    PiecewiseValue V = countDistinctCacheLines(Nest, Refs, "a", Map);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_SORCacheLinesVsLineSize)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+OMEGA_BENCH_MAIN(report)

@@ -1,0 +1,91 @@
+//===- bench/bench_stencil.cpp - X14: §5.1 stencil summarization ---------===//
+//
+// Summarizing uniformly generated sets: the 0-1 programming method vs the
+// convex hull + strides method on 4-, 5- and 9-point stencils.  The paper
+// found the Omega test could summarize 4- and 5-point stencils from the
+// 0-1 form but not the 9-point one; the hull method handles all three.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+#include "apps/UniformlyGenerated.h"
+
+using namespace omega;
+
+namespace {
+
+std::vector<Offset> stencil(unsigned Points) {
+  std::vector<Offset> S;
+  switch (Points) {
+  case 4:
+    S = {{BigInt(-1), BigInt(0)},
+         {BigInt(1), BigInt(0)},
+         {BigInt(0), BigInt(-1)},
+         {BigInt(0), BigInt(1)}};
+    break;
+  case 5:
+    S = {{BigInt(0), BigInt(0)},
+         {BigInt(-1), BigInt(0)},
+         {BigInt(1), BigInt(0)},
+         {BigInt(0), BigInt(-1)},
+         {BigInt(0), BigInt(1)}};
+    break;
+  case 9:
+    for (int64_t X = -1; X <= 1; ++X)
+      for (int64_t Y = -1; Y <= 1; ++Y)
+        S.push_back({BigInt(X), BigInt(Y)});
+    break;
+  default:
+    assert(false && "unknown stencil");
+  }
+  return S;
+}
+
+void report() {
+  reportHeader("X14", "stencil summarization (§5.1)");
+  std::vector<std::string> Vars{"dx", "dy"};
+  for (unsigned P : {4u, 5u, 9u}) {
+    std::vector<Offset> S = stencil(P);
+    auto Hull = summarizeOffsetsHull(S, Vars);
+    reportRow("hull method, " + std::to_string(P) + "-point: exact",
+              "yes", Hull && Hull->Exact ? "yes" : "no");
+    if (Hull)
+      reportRow("  summary", "-", Hull->Constraints.toString());
+    Formula ZeroOne = offsetsZeroOneFormula(S, Vars);
+    BigInt Count = countConcrete(ZeroOne, {"dx", "dy"});
+    std::vector<Conjunct> Simplified = simplify(ZeroOne);
+    reportRow("0-1 method, " + std::to_string(P) + "-point count",
+              std::to_string(P), Count.toString());
+    reportRow("  clauses after Omega simplification ("
+              "paper: 9-point resisted a convex summary)",
+              "-", std::to_string(Simplified.size()));
+  }
+}
+
+void BM_HullSummary(benchmark::State &State) {
+  std::vector<Offset> S = stencil(static_cast<unsigned>(State.range(0)));
+  std::vector<std::string> Vars{"dx", "dy"};
+  for (auto _ : State) {
+    auto R = summarizeOffsetsHull(S, Vars);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_HullSummary)->Arg(4)->Arg(5)->Arg(9)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ZeroOneSummary(benchmark::State &State) {
+  std::vector<Offset> S = stencil(static_cast<unsigned>(State.range(0)));
+  std::vector<std::string> Vars{"dx", "dy"};
+  Formula F = offsetsZeroOneFormula(S, Vars);
+  for (auto _ : State) {
+    std::vector<Conjunct> D = simplify(F);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_ZeroOneSummary)->Arg(4)->Arg(5)->Arg(9)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+OMEGA_BENCH_MAIN(report)

@@ -1,0 +1,66 @@
+//===- examples/dependence_analysis.cpp - Counting dependences -----------===//
+//
+// The Omega test's original job was *deciding* array dependences; this
+// paper upgrades it to *counting* them.  We analyze a wavefront loop,
+// count its dependence pairs symbolically, and size the communication of
+// a pipeline split — §1.1's "array elements that need to be transmitted
+// from one processor to another".
+//
+// Run:  ./dependence_analysis
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Dependence.h"
+
+#include <iostream>
+
+using namespace omega;
+
+static AffineExpr var(const char *N) { return AffineExpr::variable(N); }
+
+int main() {
+  // for i = 1 to n
+  //   for j = 1 to n
+  //     a(i, j) = a(i-1, j) + a(i, j-1)    // wavefront
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(1), var("n"));
+  Nest.add("j", AffineExpr(1), var("n"));
+  ArrayRef Write{"a", {var("i"), var("j")}};
+  ArrayRef ReadUp{"a", {var("i") - AffineExpr(1), var("j")}};
+  ArrayRef ReadLeft{"a", {var("i"), var("j") - AffineExpr(1)}};
+
+  std::cout << "wavefront a(i,j) = a(i-1,j) + a(i,j-1), 1 <= i,j <= n\n\n";
+  std::cout << "flow dependence via a(i-1,j)? "
+            << (hasDependence(Nest, Write, ReadUp) ? "yes" : "no") << "\n";
+  std::cout << "flow dependence via a(i,j-1)? "
+            << (hasDependence(Nest, Write, ReadLeft) ? "yes" : "no")
+            << "\n";
+  // A non-dependence for contrast: a(2i, j) vs a(2i+1, j).
+  ArrayRef Even{"a", {BigInt(2) * var("i"), var("j")}};
+  ArrayRef Odd{"a", {BigInt(2) * var("i") + AffineExpr(1), var("j")}};
+  std::cout << "false dependence a(2i,j) vs a(2i+1,j)? "
+            << (hasDependence(Nest, Even, Odd) ? "yes" : "no") << "\n\n";
+
+  PiecewiseValue Up = countDependencePairs(Nest, Write, ReadUp);
+  PiecewiseValue Left = countDependencePairs(Nest, Write, ReadLeft);
+  std::cout << "dependence pairs via a(i-1,j): " << Up << "\n";
+  std::cout << "dependence pairs via a(i,j-1): " << Left << "\n";
+  for (int64_t N : {10, 100}) {
+    Assignment A{{"n", BigInt(N)}};
+    std::cout << "  n=" << N << ": " << Up.evaluateInt(A) << " + "
+              << Left.evaluateInt(A) << " pairs\n";
+  }
+
+  // Pipeline the outer loop at a split point s: how many cells cross?
+  PiecewiseValue Comm =
+      splitCommunicationCells(Nest, Write, ReadUp, "i", "s");
+  std::cout << "\ncells sent across a split of i at s (symbolic):\n  "
+            << Comm << "\n";
+  for (int64_t S : {1, 50, 99})
+    std::cout << "  n=100, s=" << S << ": "
+              << Comm.evaluateInt({{"n", BigInt(100)}, {"s", BigInt(S)}})
+              << " cells\n";
+  std::cout << "\n(each split boundary transmits one row of n cells, as "
+               "the symbolic form shows)\n";
+  return 0;
+}

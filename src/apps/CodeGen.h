@@ -1,0 +1,66 @@
+//===- apps/CodeGen.h - Scanning polyhedra with DO loops --------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inverse of loop analysis: given a clause and a variable order,
+/// produce loop bounds that scan exactly its integer points — Ancourt &
+/// Irigoin, "Scanning polyhedra with DO loops" [AI91], the citation the
+/// paper leans on for its §3.3/§5.1 machinery.  Bounds at each level come
+/// from projecting away the deeper variables (real shadow, a superset);
+/// a residual guard re-establishes exactness inside the innermost loop
+/// when projection was inexact (integer holes, strides).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_APPS_CODEGEN_H
+#define OMEGA_APPS_CODEGEN_H
+
+#include "omega/Omega.h"
+
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/// One generated loop level: Var runs from max of the lower bounds to min
+/// of the upper bounds (rational bounds rounded ceil/floor).
+struct GeneratedLoop {
+  std::string Var;
+  /// Var >= ceil(Expr / Coef), Coef >= 1.
+  std::vector<std::pair<BigInt, AffineExpr>> Lowers;
+  /// Var <= floor(Expr / Coef), Coef >= 1.
+  std::vector<std::pair<BigInt, AffineExpr>> Uppers;
+};
+
+/// Loops plus a residual guard; the scan visits exactly the clause's
+/// points: iterate the loops, skip points failing the guard.
+struct GeneratedScan {
+  std::vector<GeneratedLoop> Loops;
+  /// Constraints to re-check per point (empty when the bounds are exact).
+  std::vector<Constraint> Guard;
+  /// True when the generated bounds are provably exact (no guard needed).
+  bool Exact = false;
+
+  /// Pseudo-C rendering, e.g.
+  ///   for (i = max(1, ceild(n,2)); i <= min(n, 100); i++)
+  std::string emit() const;
+};
+
+/// Generates scanning loops for \p C over \p Order (outermost first).
+/// Variables of C outside Order are symbolic parameters.  The clause must
+/// bound every ordered variable both ways (asserts otherwise).
+GeneratedScan generateScan(const Conjunct &C,
+                           const std::vector<std::string> &Order);
+
+/// Interprets a scan at concrete parameter values, returning the visited
+/// points in loop order.  The reference semantics for tests and a handy
+/// way to materialize small sets.
+std::vector<Assignment> runScan(const GeneratedScan &Scan,
+                                const Assignment &Params);
+
+} // namespace omega
+
+#endif // OMEGA_APPS_CODEGEN_H

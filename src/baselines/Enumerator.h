@@ -1,0 +1,43 @@
+//===- baselines/Enumerator.h - Brute-force counting oracle ----*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground-truth oracle: counts/sums by exhaustive enumeration over a box.
+/// Used to validate the symbolic engine in tests and as the "measure it by
+/// running it" baseline in the scaling benchmark (X15): symbolic counting
+/// is O(size of formula), enumeration is O(volume).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_BASELINES_ENUMERATOR_H
+#define OMEGA_BASELINES_ENUMERATOR_H
+
+#include "poly/QuasiPolynomial.h"
+#include "presburger/Formula.h"
+
+namespace omega {
+
+/// Evaluates \p F at \p Values, deciding quantifiers by searching
+/// [WitnessLo, WitnessHi] per bound variable.  Only correct when every
+/// witness needed lies in that interval.
+bool evaluateInBox(const Formula &F, Assignment &Values, int64_t WitnessLo,
+                   int64_t WitnessHi);
+
+/// Σ over assignments of \p Vars in [Lo, Hi]^k satisfying F (with symbols
+/// pre-bound in \p Symbols) of X.
+Rational enumerateSum(const Formula &F, const std::vector<std::string> &Vars,
+                      const Assignment &Symbols, const QuasiPolynomial &X,
+                      int64_t Lo, int64_t Hi, int64_t WitnessLo,
+                      int64_t WitnessHi);
+
+/// enumerateSum with X = 1.
+BigInt enumerateCount(const Formula &F, const std::vector<std::string> &Vars,
+                      const Assignment &Symbols, int64_t Lo, int64_t Hi,
+                      int64_t WitnessLo, int64_t WitnessHi);
+
+} // namespace omega
+
+#endif // OMEGA_BASELINES_ENUMERATOR_H

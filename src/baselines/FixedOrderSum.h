@@ -1,0 +1,62 @@
+//===- baselines/FixedOrderSum.h - Tawbi-style summation --------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §6 related-work baselines.
+///
+/// FixedOrderSum models Tawbi's algorithm [TF92, Taw91, Taw94]: variables
+/// are summed in a *predetermined* order (innermost first), multiple
+/// upper/lower bounds are resolved by polyhedral splitting so no summation
+/// is empty, and — crucially — *no redundant-constraint elimination* is
+/// performed.  The paper's Example 1 needs 3 terms this way versus 2 with
+/// the free-order engine of §4.4.
+///
+/// NaiveClosedFormSum models the symbolic-algebra-package behaviour the
+/// paper's introduction criticizes (Mathematica/Maple): textbook summation
+/// formulas applied with *no emptiness guards*, so the answer is wrong
+/// whenever a summation range can be empty (e.g. 1 <= m < n in
+/// Σ_{i=1}^n Σ_{j=i}^m 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_BASELINES_FIXEDORDERSUM_H
+#define OMEGA_BASELINES_FIXEDORDERSUM_H
+
+#include "poly/PiecewiseValue.h"
+
+namespace omega {
+
+/// Result of a baseline summation, with the cost metrics the paper
+/// compares on.
+struct BaselineSumResult {
+  PiecewiseValue Value;
+  /// Leaf summation terms produced (Tawbi's cost metric in Example 1).
+  unsigned NumTerms = 0;
+  /// Total elementary rewrite steps performed (the H-P comparison counts
+  /// 9 and 15 steps for their examples).
+  unsigned NumSteps = 0;
+};
+
+/// Tawbi-style summation of \p X over the clause \p C: \p VarOrder lists
+/// the summation variables from first-summed (innermost) to last.  All
+/// bounds must have unit coefficients on the summed variable (affine loop
+/// nests); asserts otherwise.
+BaselineSumResult fixedOrderSum(const Conjunct &C,
+                                const std::vector<std::string> &VarOrder,
+                                const QuasiPolynomial &X);
+
+/// Mathematica-style unguarded summation: same fixed order, but takes the
+/// first lower/upper bound and applies S_p(U) - S_p(L-1) with no emptiness
+/// guard and no splitting.  Produces the closed form the paper quotes
+/// (n(2m - n + 1)/2 for the intro example) — wrong when ranges can be
+/// empty.
+QuasiPolynomial naiveClosedFormSum(const Conjunct &C,
+                                   const std::vector<std::string> &VarOrder,
+                                   const QuasiPolynomial &X);
+
+} // namespace omega
+
+#endif // OMEGA_BASELINES_FIXEDORDERSUM_H

@@ -1,0 +1,68 @@
+//===- counting/Set.h - Presburger-definable integer sets -------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Presburger-definable set of integer tuples { [v1..vk] : F } with the
+/// full boolean algebra, projection, counting and sampling — the
+/// set-level sibling of Relation and the natural front door for users who
+/// just want "how many points does this set have, as a formula in n?".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_COUNTING_SET_H
+#define OMEGA_COUNTING_SET_H
+
+#include "counting/Summation.h"
+
+#include <optional>
+
+namespace omega {
+
+/// { [Tuple] : Body }; free variables of Body outside the tuple are
+/// symbolic constants.
+class PresburgerSet {
+public:
+  PresburgerSet(std::vector<std::string> Tuple, Formula Body);
+
+  const std::vector<std::string> &tuple() const { return Tuple; }
+  const Formula &body() const { return Body; }
+
+  PresburgerSet unionWith(const PresburgerSet &Other) const;
+  PresburgerSet intersect(const PresburgerSet &Other) const;
+  PresburgerSet subtract(const PresburgerSet &Other) const;
+
+  /// Projects away the named dimensions (they must be tuple variables).
+  PresburgerSet project(const VarSet &Away) const;
+
+  bool isEmpty() const;
+  bool isSubsetOf(const PresburgerSet &Other) const;
+  bool isEqualTo(const PresburgerSet &Other) const;
+
+  /// True iff the point (tuple values plus symbol values) is in the set.
+  bool contains(const Assignment &Point) const;
+
+  /// |S| as a piecewise quasi-polynomial in the symbolic constants.
+  PiecewiseValue count(SumOptions Opts = {}) const;
+
+  /// Σ of a polynomial over the set.
+  PiecewiseValue sum(const QuasiPolynomial &X, SumOptions Opts = {}) const;
+
+  /// A concrete member at the given symbol values, or nullopt if empty.
+  std::optional<Assignment> sample(const Assignment &Symbols) const;
+
+  std::string toString() const;
+
+private:
+  /// Other's body with its tuple renamed to this set's tuple names.
+  Formula aligned(const PresburgerSet &Other) const;
+
+  std::vector<std::string> Tuple;
+  Formula Body;
+};
+
+} // namespace omega
+
+#endif // OMEGA_COUNTING_SET_H

@@ -1,0 +1,300 @@
+//===- matrix/Matrix.cpp - Dense BigInt matrices -------------------------===//
+
+#include "matrix/Matrix.h"
+
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+using namespace omega;
+
+Matrix Matrix::fromRows(std::vector<std::vector<BigInt>> Rows) {
+  if (Rows.empty())
+    return Matrix();
+  Matrix M(static_cast<unsigned>(Rows.size()),
+           static_cast<unsigned>(Rows[0].size()));
+  for (unsigned R = 0; R < M.NumRows; ++R) {
+    assert(Rows[R].size() == M.NumCols && "ragged initializer");
+    for (unsigned C = 0; C < M.NumCols; ++C)
+      M.at(R, C) = std::move(Rows[R][C]);
+  }
+  return M;
+}
+
+Matrix Matrix::identity(unsigned N) {
+  Matrix M(N, N);
+  for (unsigned I = 0; I < N; ++I)
+    M.at(I, I) = BigInt(1);
+  return M;
+}
+
+Matrix Matrix::operator*(const Matrix &RHS) const {
+  assert(NumCols == RHS.NumRows && "dimension mismatch in matrix product");
+  Matrix R(NumRows, RHS.NumCols);
+  for (unsigned I = 0; I < NumRows; ++I)
+    for (unsigned K = 0; K < NumCols; ++K) {
+      const BigInt &AIK = at(I, K);
+      if (AIK.isZero())
+        continue;
+      for (unsigned J = 0; J < RHS.NumCols; ++J)
+        R.at(I, J) += AIK * RHS.at(K, J);
+    }
+  return R;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix R(NumCols, NumRows);
+  for (unsigned I = 0; I < NumRows; ++I)
+    for (unsigned J = 0; J < NumCols; ++J)
+      R.at(J, I) = at(I, J);
+  return R;
+}
+
+void Matrix::swapRows(unsigned A, unsigned B) {
+  if (A == B)
+    return;
+  for (unsigned C = 0; C < NumCols; ++C)
+    std::swap(at(A, C), at(B, C));
+}
+
+void Matrix::swapCols(unsigned A, unsigned B) {
+  if (A == B)
+    return;
+  for (unsigned R = 0; R < NumRows; ++R)
+    std::swap(at(R, A), at(R, B));
+}
+
+void Matrix::addRowMultiple(unsigned Dst, unsigned Src, const BigInt &Factor) {
+  assert(Dst != Src && "row must differ from source");
+  if (Factor.isZero())
+    return;
+  for (unsigned C = 0; C < NumCols; ++C)
+    at(Dst, C) += Factor * at(Src, C);
+}
+
+void Matrix::addColMultiple(unsigned Dst, unsigned Src, const BigInt &Factor) {
+  assert(Dst != Src && "column must differ from source");
+  if (Factor.isZero())
+    return;
+  for (unsigned R = 0; R < NumRows; ++R)
+    at(R, Dst) += Factor * at(R, Src);
+}
+
+void Matrix::negateRow(unsigned R) {
+  for (unsigned C = 0; C < NumCols; ++C)
+    at(R, C) = -at(R, C);
+}
+
+void Matrix::negateCol(unsigned C) {
+  for (unsigned R = 0; R < NumRows; ++R)
+    at(R, C) = -at(R, C);
+}
+
+BigInt Matrix::determinant() const {
+  assert(NumRows == NumCols && "determinant of non-square matrix");
+  unsigned N = NumRows;
+  if (N == 0)
+    return BigInt(1);
+  // Bareiss fraction-free elimination: all intermediate divisions are exact.
+  Matrix W = *this;
+  BigInt Prev(1);
+  int Sign = 1;
+  for (unsigned K = 0; K + 1 < N; ++K) {
+    if (W.at(K, K).isZero()) {
+      unsigned Pivot = K + 1;
+      while (Pivot < N && W.at(Pivot, K).isZero())
+        ++Pivot;
+      if (Pivot == N)
+        return BigInt(0);
+      W.swapRows(K, Pivot);
+      Sign = -Sign;
+    }
+    for (unsigned I = K + 1; I < N; ++I)
+      for (unsigned J = K + 1; J < N; ++J)
+        W.at(I, J) =
+            (W.at(I, J) * W.at(K, K) - W.at(I, K) * W.at(K, J)) / Prev;
+    Prev = W.at(K, K);
+  }
+  BigInt Det = W.at(N - 1, N - 1);
+  return Sign < 0 ? -Det : Det;
+}
+
+bool Matrix::isUnimodular() const {
+  if (NumRows != NumCols)
+    return false;
+  BigInt D = determinant();
+  return D.isOne() || D.isMinusOne();
+}
+
+std::string Matrix::toString() const {
+  std::ostringstream OS;
+  OS << *this;
+  return OS.str();
+}
+
+std::ostream &omega::operator<<(std::ostream &OS, const Matrix &M) {
+  OS << "[";
+  for (unsigned R = 0; R < M.rows(); ++R) {
+    if (R)
+      OS << "; ";
+    for (unsigned C = 0; C < M.cols(); ++C) {
+      if (C)
+        OS << " ";
+      OS << M.at(R, C);
+    }
+  }
+  return OS << "]";
+}
+
+namespace {
+
+/// Returns the position of a nonzero entry with minimal absolute value in
+/// the trailing submatrix of \p A starting at (K, K), or false if that
+/// submatrix is entirely zero.
+bool findSmallestNonzero(const Matrix &A, unsigned K, unsigned &OutR,
+                         unsigned &OutC) {
+  bool Found = false;
+  BigInt Best;
+  for (unsigned R = K; R < A.rows(); ++R)
+    for (unsigned C = K; C < A.cols(); ++C) {
+      const BigInt &V = A.at(R, C);
+      if (V.isZero())
+        continue;
+      BigInt Abs = V.abs();
+      if (!Found || Abs < Best) {
+        Found = true;
+        Best = std::move(Abs);
+        OutR = R;
+        OutC = C;
+      }
+    }
+  return Found;
+}
+
+} // namespace
+
+SmithForm omega::smithNormalForm(const Matrix &A) {
+  SmithForm S;
+  S.D = A;
+  S.U = Matrix::identity(A.rows());
+  S.V = Matrix::identity(A.cols());
+  Matrix &D = S.D, &U = S.U, &V = S.V;
+
+  unsigned N = std::min(A.rows(), A.cols());
+  for (unsigned K = 0; K < N; ++K) {
+    unsigned PR, PC;
+    if (!findSmallestNonzero(D, K, PR, PC))
+      break;
+    D.swapRows(K, PR);
+    U.swapRows(K, PR);
+    D.swapCols(K, PC);
+    V.swapCols(K, PC);
+
+    // Zero out the pivot row and column; the pivot may shrink while doing
+    // so (remainders become new candidates), so iterate to fixpoint.
+    bool Dirty = true;
+    while (Dirty) {
+      Dirty = false;
+      for (unsigned R = K + 1; R < D.rows(); ++R) {
+        if (D.at(R, K).isZero())
+          continue;
+        BigInt Q = BigInt::floorDiv(D.at(R, K), D.at(K, K));
+        D.addRowMultiple(R, K, -Q);
+        U.addRowMultiple(R, K, -Q);
+        if (!D.at(R, K).isZero()) {
+          // Remainder smaller than the pivot: swap it up and restart.
+          D.swapRows(K, R);
+          U.swapRows(K, R);
+          Dirty = true;
+        }
+      }
+      for (unsigned C = K + 1; C < D.cols(); ++C) {
+        if (D.at(K, C).isZero())
+          continue;
+        BigInt Q = BigInt::floorDiv(D.at(K, C), D.at(K, K));
+        D.addColMultiple(C, K, -Q);
+        V.addColMultiple(C, K, -Q);
+        if (!D.at(K, C).isZero()) {
+          D.swapCols(K, C);
+          V.swapCols(K, C);
+          Dirty = true;
+        }
+      }
+    }
+
+    if (D.at(K, K).isNegative()) {
+      D.negateRow(K);
+      U.negateRow(K);
+    }
+
+    // Enforce the divisibility chain: if the pivot does not divide some
+    // trailing entry, fold that entry's column in and redo this pivot.
+    for (unsigned R = K + 1; R < D.rows(); ++R)
+      for (unsigned C = K + 1; C < D.cols(); ++C)
+        if (!D.at(K, K).divides(D.at(R, C))) {
+          D.addColMultiple(K, C, BigInt(1));
+          V.addColMultiple(K, C, BigInt(1));
+          --K; // Redo this pivot with the new column contents.
+          R = D.rows();
+          break;
+        }
+  }
+
+  for (unsigned I = 0; I < N; ++I)
+    if (!S.D.at(I, I).isZero())
+      ++S.Rank;
+  return S;
+}
+
+HermiteForm omega::hermiteNormalForm(const Matrix &A) {
+  HermiteForm H;
+  H.H = A;
+  H.U = Matrix::identity(A.cols());
+  Matrix &M = H.H, &U = H.U;
+
+  unsigned PivCol = 0;
+  for (unsigned R = 0; R < M.rows() && PivCol < M.cols(); ++R) {
+    // Reduce row R across columns >= PivCol to a single nonzero via the
+    // Euclidean algorithm on column operations.
+    while (true) {
+      unsigned Best = M.cols();
+      for (unsigned C = PivCol; C < M.cols(); ++C) {
+        if (M.at(R, C).isZero())
+          continue;
+        if (Best == M.cols() || M.at(R, C).abs() < M.at(R, Best).abs())
+          Best = C;
+      }
+      if (Best == M.cols())
+        break; // Row all zero from PivCol on; no pivot in this row.
+      M.swapCols(PivCol, Best);
+      U.swapCols(PivCol, Best);
+      bool Reduced = true;
+      for (unsigned C = PivCol + 1; C < M.cols(); ++C) {
+        if (M.at(R, C).isZero())
+          continue;
+        BigInt Q = BigInt::floorDiv(M.at(R, C), M.at(R, PivCol));
+        M.addColMultiple(C, PivCol, -Q);
+        U.addColMultiple(C, PivCol, -Q);
+        if (!M.at(R, C).isZero())
+          Reduced = false;
+      }
+      if (Reduced)
+        break;
+    }
+    if (M.at(R, PivCol).isZero())
+      continue;
+    if (M.at(R, PivCol).isNegative()) {
+      M.negateCol(PivCol);
+      U.negateCol(PivCol);
+    }
+    // Reduce the entries left of the pivot into [0, pivot).
+    for (unsigned C = 0; C < PivCol; ++C) {
+      BigInt Q = BigInt::floorDiv(M.at(R, C), M.at(R, PivCol));
+      M.addColMultiple(C, PivCol, -Q);
+      U.addColMultiple(C, PivCol, -Q);
+    }
+    ++PivCol;
+  }
+  H.Rank = PivCol;
+  return H;
+}

@@ -1,0 +1,116 @@
+//===- matrix/Matrix.h - Dense BigInt matrices -----------------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense integer matrices with exact BigInt entries, plus the elementary
+/// row/column operations that the Smith/Hermite normal form algorithms are
+/// built from (§4.5.2 of the paper uses Smith Normal Form to re-parameterize
+/// projected clauses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_MATRIX_MATRIX_H
+#define OMEGA_MATRIX_MATRIX_H
+
+#include "support/BigInt.h"
+
+#include <iosfwd>
+#include <vector>
+
+namespace omega {
+
+/// Dense row-major matrix of BigInt.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(unsigned Rows, unsigned Cols)
+      : NumRows(Rows), NumCols(Cols), Data(size_t(Rows) * Cols) {}
+
+  /// Builds a matrix from a row-major initializer, e.g.
+  /// Matrix::fromRows({{1,2},{3,4}}).
+  static Matrix fromRows(std::vector<std::vector<BigInt>> Rows);
+
+  static Matrix identity(unsigned N);
+
+  unsigned rows() const { return NumRows; }
+  unsigned cols() const { return NumCols; }
+
+  BigInt &at(unsigned R, unsigned C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[size_t(R) * NumCols + C];
+  }
+  const BigInt &at(unsigned R, unsigned C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[size_t(R) * NumCols + C];
+  }
+
+  friend bool operator==(const Matrix &L, const Matrix &R) {
+    return L.NumRows == R.NumRows && L.NumCols == R.NumCols &&
+           L.Data == R.Data;
+  }
+  friend bool operator!=(const Matrix &L, const Matrix &R) {
+    return !(L == R);
+  }
+
+  Matrix operator*(const Matrix &RHS) const;
+  Matrix transpose() const;
+
+  void swapRows(unsigned A, unsigned B);
+  void swapCols(unsigned A, unsigned B);
+  /// Row[Dst] += Factor * Row[Src].
+  void addRowMultiple(unsigned Dst, unsigned Src, const BigInt &Factor);
+  /// Col[Dst] += Factor * Col[Src].
+  void addColMultiple(unsigned Dst, unsigned Src, const BigInt &Factor);
+  void negateRow(unsigned R);
+  void negateCol(unsigned C);
+
+  /// Exact determinant via Bareiss fraction-free elimination; asserts the
+  /// matrix is square.
+  BigInt determinant() const;
+
+  /// Returns true iff the matrix is square with determinant +1 or -1.
+  bool isUnimodular() const;
+
+  std::string toString() const;
+  friend std::ostream &operator<<(std::ostream &OS, const Matrix &M);
+
+private:
+  unsigned NumRows = 0;
+  unsigned NumCols = 0;
+  std::vector<BigInt> Data;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Matrix &M);
+
+/// Result of a Smith Normal Form decomposition: U * A * V == D with U, V
+/// unimodular and D diagonal with D[i][i] dividing D[i+1][i+1]; all diagonal
+/// entries are non-negative and the nonzero ones come first.
+struct SmithForm {
+  Matrix U;
+  Matrix D;
+  Matrix V;
+  /// Number of nonzero diagonal entries (the rank of A).
+  unsigned Rank = 0;
+};
+
+/// Computes the Smith Normal Form of \p A.
+SmithForm smithNormalForm(const Matrix &A);
+
+/// Result of a column-style Hermite Normal Form: A * U == H with U
+/// unimodular, H lower-triangular with positive pivots and, within each
+/// pivot row, entries left of the pivot reduced to [0, pivot).
+struct HermiteForm {
+  Matrix H;
+  Matrix U;
+  unsigned Rank = 0;
+};
+
+/// Computes the column Hermite Normal Form of \p A.
+HermiteForm hermiteNormalForm(const Matrix &A);
+
+} // namespace omega
+
+#endif // OMEGA_MATRIX_MATRIX_H

@@ -1,0 +1,127 @@
+//===- omega/Omega.h - The Omega test ---------------------------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Omega test (§2 of the paper; algorithms from Pugh, CACM 1992):
+/// exact integer projection (variable elimination) with dark shadows and
+/// splinters, integer feasibility, redundant-constraint removal, the gist
+/// operator, and simplification of arbitrary Presburger formulas into
+/// (optionally disjoint) disjunctive normal form.
+///
+/// Invariant maintained by every function here: input Conjuncts may carry
+/// wildcards, but *returned* Conjuncts never do — existential structure is
+/// projected into stride constraints.  This is the paper's "stride format";
+/// Conjunct::stridesToWildcards recovers the "projected format" (§2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_OMEGA_OMEGA_H
+#define OMEGA_OMEGA_OMEGA_H
+
+#include "presburger/Conjunct.h"
+#include "presburger/Formula.h"
+
+#include <optional>
+#include <vector>
+
+namespace omega {
+
+/// How to treat an elimination step that cannot be done exactly with a
+/// single clause (§2.1, §4.6, Figure 1).
+enum class ShadowMode {
+  /// Dark shadow plus overlapping splinters: exact, clauses may overlap.
+  Exact,
+  /// Dark shadow plus disjoint splinters (Figure 1): exact, clauses are
+  /// pairwise disjoint.
+  Disjoint,
+  /// Real shadow only: an over-approximation (superset of solutions).
+  Real,
+  /// Dark shadow only: an under-approximation (subset of solutions).
+  Dark,
+};
+
+/// Existentially eliminates \p Vars (plus any wildcards of \p C) from \p C.
+/// The result is a union of wildcard-free clauses over the remaining
+/// variables; with ShadowMode::Exact or Disjoint the union is exactly
+/// ∃ Vars . C, with Real/Dark it is an over-/under-approximation.
+std::vector<Conjunct> projectVars(const Conjunct &C, const VarSet &Vars,
+                                  ShadowMode Mode = ShadowMode::Exact);
+
+/// True iff \p C has an integer solution (all variables treated as
+/// existentially quantified).
+bool feasible(const Conjunct &C);
+
+/// Normalizes every constraint of \p C (GCD reduction, inequality
+/// tightening, stride canonicalization), dropping trivially true
+/// constraints and duplicates.  Returns false iff the clause is proven
+/// infeasible in the process.
+bool normalizeConjunct(Conjunct &C);
+
+/// True iff \p Values (binding all free variables of \p C) satisfies C;
+/// wildcards are resolved by the Omega test.
+bool containsPoint(const Conjunct &C, const Assignment &Values);
+
+/// Finds an integer solution of \p C (binding its free variables), or
+/// nullopt if none exists.  Unbounded directions are resolved near the
+/// clause's bounds (or zero); wildcards are not reported.
+std::optional<Assignment> samplePoint(const Conjunct &C);
+
+/// Removes redundant constraints from \p C in place.  The cheap pass drops
+/// constraints made redundant by a single other constraint; with
+/// \p Aggressive the complete (feasibility-based) test is used (§2.3).
+void removeRedundant(Conjunct &C, bool Aggressive = false);
+
+/// True iff every integer point of \p P satisfies \p Q (§2.4).  Both
+/// clauses may share variables by name; wildcard-free inputs required.
+bool implies(const Conjunct &P, const Conjunct &Q);
+
+/// The gist operator (§2.3): a minimal subset G of P's constraints with
+/// G ∧ Q ≡ P ∧ Q.
+Conjunct gist(const Conjunct &P, const Conjunct &Q);
+
+/// Negates a wildcard-free clause into a union of *pairwise disjoint*
+/// wildcard-free clauses (used by simplification and §5.3).
+std::vector<Conjunct> negateConjunct(const Conjunct &C);
+
+/// Options for simplify().
+struct SimplifyOptions {
+  /// Produce disjoint disjunctive normal form (§5).
+  bool Disjoint = false;
+  /// Exact, over-approximate (Real) or under-approximate (Dark)
+  /// simplification (§4.6).  Disjoint requires Exact.
+  ShadowMode Mode = ShadowMode::Exact;
+};
+
+/// Simplifies an arbitrary Presburger formula into DNF over wildcard-free
+/// clauses (§2.6).  Infeasible clauses are dropped, redundant constraints
+/// removed, and subsumed clauses deleted.
+std::vector<Conjunct> simplify(const Formula &F, SimplifyOptions Opts = {});
+
+/// Alpha-renames free occurrences of the map's keys (quantifier-aware).
+Formula renameFreeVars(const Formula &F,
+                       const std::map<std::string, std::string> &Map);
+
+/// Converts a (possibly overlapping) union of clauses into an equivalent
+/// union of pairwise disjoint clauses (§5.3).
+std::vector<Conjunct> makeDisjoint(std::vector<Conjunct> Clauses);
+
+/// True iff no two clauses overlap (share an integer point); all free
+/// variables are implicitly universally ranged.  Exposed for tests.
+bool pairwiseDisjoint(const std::vector<Conjunct> &Clauses);
+
+/// If a single clause equal to A ∨ B exists among the constraints the two
+/// clauses share (each implied by the other side), returns it.  Used to
+/// tidy unions, e.g. [1,4] ∨ [5,9] -> [1,9].
+std::optional<Conjunct> coalescePair(const Conjunct &A, const Conjunct &B);
+
+/// Repeatedly applies coalescePair across the union; preserves the union
+/// exactly (and disjointness, since a merged clause equals the union of
+/// the clauses it replaces).
+void coalesceClauses(std::vector<Conjunct> &Clauses);
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_OMEGA_H

@@ -1,0 +1,133 @@
+//===- omega/Redundancy.cpp - Redundant constraints, implies, gist -------===//
+//
+// §2.3 and §2.4 of the paper: fast single-constraint redundancy tests, the
+// complete feasibility-based test, implication checking, and the gist
+// operator (gist P given Q is "what is interesting about P given Q").
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Omega.h"
+
+#include <algorithm>
+
+using namespace omega;
+
+namespace {
+
+/// Returns the disjoint branches of the negation of a single constraint.
+/// Ge e>=0 -> { -e-1>=0 }; Eq e=0 -> { e-1>=0, -e-1>=0 };
+/// Stride m|e -> { m | e-r : r in 1..m-1 }  (§3.2).
+std::vector<Constraint> negateConstraint(const Constraint &K) {
+  switch (K.kind()) {
+  case ConstraintKind::Ge:
+    return {Constraint::ge(-K.expr() - AffineExpr(1))};
+  case ConstraintKind::Eq:
+    return {Constraint::ge(K.expr() - AffineExpr(1)),
+            Constraint::ge(-K.expr() - AffineExpr(1))};
+  case ConstraintKind::Stride: {
+    std::vector<Constraint> Out;
+    for (BigInt R(1); R < K.modulus(); ++R)
+      Out.push_back(Constraint::stride(K.modulus(), K.expr() - AffineExpr(R)));
+    return Out;
+  }
+  }
+  assert(false && "unknown constraint kind");
+  return {};
+}
+
+/// True iff Ctx ∧ ¬K is infeasible, i.e. Ctx implies K.
+bool contextImplies(const Conjunct &Ctx, const Constraint &K) {
+  for (const Constraint &Branch : negateConstraint(K)) {
+    Conjunct Test = Ctx;
+    Test.add(Branch);
+    if (feasible(Test))
+      return false;
+  }
+  return true;
+}
+
+/// Cheap test: is \p A made redundant by \p B alone?  Only inequalities
+/// with identical coefficient vectors are compared: e + c1 >= 0 is
+/// redundant given e + c2 >= 0 when c2 <= c1.
+bool singleConstraintRedundant(const Constraint &A, const Constraint &B) {
+  if (!A.isGe() || !B.isGe())
+    return false;
+  AffineExpr Diff = A.expr() - B.expr();
+  return Diff.isConstant() && Diff.constant().sign() >= 0;
+}
+
+} // namespace
+
+void omega::removeRedundant(Conjunct &C, bool Aggressive) {
+  std::vector<Constraint> &Ks = C.constraints();
+  // Fast pass: drop any inequality made redundant by a single other
+  // constraint (and exact duplicates of any kind).
+  for (size_t I = 0; I < Ks.size();) {
+    bool Drop = false;
+    for (size_t J = 0; J < Ks.size() && !Drop; ++J) {
+      if (I == J)
+        continue;
+      if (Ks[I] == Ks[J]) {
+        Drop = J < I; // Keep the first copy.
+        continue;
+      }
+      if (singleConstraintRedundant(Ks[I], Ks[J]))
+        Drop = true;
+    }
+    if (Drop)
+      Ks.erase(Ks.begin() + I);
+    else
+      ++I;
+  }
+  if (!Aggressive)
+    return;
+  // Complete pass: a constraint is redundant iff the rest plus its
+  // negation is infeasible.  Greedy in order; each removal is final.
+  for (size_t I = 0; I < Ks.size();) {
+    if (!Ks[I].isGe()) {
+      ++I; // Keep equalities and strides: they carry the clause's shape.
+      continue;
+    }
+    Conjunct Rest;
+    for (const std::string &W : C.wildcards())
+      Rest.addWildcard(W);
+    for (size_t J = 0; J < Ks.size(); ++J)
+      if (J != I)
+        Rest.add(Ks[J]);
+    if (contextImplies(Rest, Ks[I]))
+      Ks.erase(Ks.begin() + I);
+    else
+      ++I;
+  }
+}
+
+bool omega::implies(const Conjunct &P, const Conjunct &Q) {
+  assert(P.wildcards().empty() && Q.wildcards().empty() &&
+         "implies requires wildcard-free clauses");
+  for (const Constraint &K : Q.constraints())
+    if (!contextImplies(P, K))
+      return false;
+  return true;
+}
+
+Conjunct omega::gist(const Conjunct &P, const Conjunct &Q) {
+  assert(P.wildcards().empty() && Q.wildcards().empty() &&
+         "gist requires wildcard-free clauses");
+  std::vector<Constraint> Kept = P.constraints();
+  // A constraint stays only if Q plus the other kept constraints does not
+  // already imply it; guarantees (gist P given Q) ∧ Q ≡ P ∧ Q.
+  for (size_t I = 0; I < Kept.size();) {
+    Conjunct Ctx = Q;
+    for (size_t J = 0; J < Kept.size(); ++J)
+      if (J != I)
+        Ctx.add(Kept[J]);
+    if (contextImplies(Ctx, Kept[I]))
+      Kept.erase(Kept.begin() + I);
+    else
+      ++I;
+  }
+  Conjunct Out;
+  for (Constraint &K : Kept)
+    Out.add(std::move(K));
+  return Out;
+}

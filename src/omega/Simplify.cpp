@@ -1,0 +1,440 @@
+//===- omega/Simplify.cpp - Formula simplification and disjoint DNF ------===//
+//
+// §2.5/§2.6 of the paper: lowering arbitrary Presburger formulas (∧ ∨ ¬ ∃ ∀)
+// into disjunctive normal form over wildcard-free clauses, and §5.3's
+// conversion of DNF into *disjoint* DNF (connected components, articulation
+// point extraction, gist-reduced disjoint negation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Omega.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace omega;
+
+namespace {
+
+/// Alpha-renames free occurrences of the keys of \p Map in \p F.
+Formula renameFree(const Formula &F,
+                   const std::map<std::string, std::string> &Map) {
+  if (Map.empty())
+    return F;
+  switch (F.kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    return F;
+  case FormulaKind::Atom: {
+    Constraint K = F.constraint();
+    for (const auto &[From, To] : Map)
+      K.renameVar(From, To);
+    return Formula::atom(std::move(K));
+  }
+  case FormulaKind::And:
+  case FormulaKind::Or:
+  case FormulaKind::Not: {
+    std::vector<Formula> Kids;
+    Kids.reserve(F.children().size());
+    for (const Formula &C : F.children())
+      Kids.push_back(renameFree(C, Map));
+    if (F.kind() == FormulaKind::And)
+      return Formula::conj(std::move(Kids));
+    if (F.kind() == FormulaKind::Or)
+      return Formula::disj(std::move(Kids));
+    return Formula::negation(std::move(Kids[0]));
+  }
+  case FormulaKind::Exists:
+  case FormulaKind::Forall: {
+    // Inner bindings shadow the renaming.
+    std::map<std::string, std::string> Inner = Map;
+    for (const std::string &V : F.quantified())
+      Inner.erase(V);
+    Formula Body = renameFree(F.body(), Inner);
+    if (F.kind() == FormulaKind::Exists)
+      return Formula::exists(F.quantified(), std::move(Body));
+    return Formula::forall(F.quantified(), std::move(Body));
+  }
+  }
+  assert(false && "unknown formula kind");
+  return F;
+}
+
+/// Drops clauses that are infeasible; normalizes the rest.
+void pruneInfeasible(std::vector<Conjunct> &Clauses) {
+  Clauses.erase(std::remove_if(Clauses.begin(), Clauses.end(),
+                               [](const Conjunct &C) { return !feasible(C); }),
+                Clauses.end());
+}
+
+/// Cross-product conjunction of two clause unions, pruning infeasible
+/// combinations as they are built.
+std::vector<Conjunct> crossConjoin(const std::vector<Conjunct> &A,
+                                   const std::vector<Conjunct> &B) {
+  std::vector<Conjunct> Out;
+  for (const Conjunct &CA : A)
+    for (const Conjunct &CB : B) {
+      Conjunct M = Conjunct::merge(CA, CB);
+      if (feasible(M))
+        Out.push_back(std::move(M));
+    }
+  return Out;
+}
+
+std::vector<Conjunct> toDNF(const Formula &F, ShadowMode Mode);
+
+std::vector<Conjunct> negateDNF(const std::vector<Conjunct> &D) {
+  std::vector<Conjunct> Out{Conjunct::trueConjunct()};
+  for (const Conjunct &C : D) {
+    Out = crossConjoin(Out, negateConjunct(C));
+    if (Out.empty())
+      break;
+  }
+  return Out;
+}
+
+std::vector<Conjunct> toDNF(const Formula &F, ShadowMode Mode) {
+  switch (F.kind()) {
+  case FormulaKind::True:
+    return {Conjunct::trueConjunct()};
+  case FormulaKind::False:
+    return {};
+  case FormulaKind::Atom: {
+    Conjunct C;
+    C.add(F.constraint());
+    if (!feasible(C))
+      return {};
+    return {std::move(C)};
+  }
+  case FormulaKind::And: {
+    std::vector<Conjunct> Acc{Conjunct::trueConjunct()};
+    for (const Formula &Child : F.children()) {
+      Acc = crossConjoin(Acc, toDNF(Child, Mode));
+      if (Acc.empty())
+        break;
+    }
+    return Acc;
+  }
+  case FormulaKind::Or: {
+    std::vector<Conjunct> Acc;
+    for (const Formula &Child : F.children()) {
+      std::vector<Conjunct> D = toDNF(Child, Mode);
+      Acc.insert(Acc.end(), std::make_move_iterator(D.begin()),
+                 std::make_move_iterator(D.end()));
+    }
+    return Acc;
+  }
+  case FormulaKind::Not: {
+    // Negation must be exact regardless of the requested approximation
+    // direction (approximating inside a negation flips the direction;
+    // handled conservatively by being exact).
+    return negateDNF(toDNF(F.children()[0], ShadowMode::Exact));
+  }
+  case FormulaKind::Exists: {
+    // Alpha-rename the bound variables to fresh wildcards, then project
+    // them away to restore the wildcard-free invariant.
+    std::map<std::string, std::string> Map;
+    VarSet Fresh;
+    for (const std::string &V : F.quantified()) {
+      std::string W = freshWildcard();
+      Map.emplace(V, W);
+      Fresh.insert(W);
+    }
+    std::vector<Conjunct> Body = toDNF(renameFree(F.body(), Map), Mode);
+    std::vector<Conjunct> Out;
+    for (const Conjunct &C : Body)
+      for (Conjunct &P : projectVars(C, Fresh, Mode))
+        Out.push_back(std::move(P));
+    return Out;
+  }
+  case FormulaKind::Forall:
+    // ∀x.F == ¬∃x.¬F.
+    return toDNF(Formula::negation(Formula::exists(
+                     F.quantified(), Formula::negation(F.body()))),
+                 Mode);
+  }
+  assert(false && "unknown formula kind");
+  return {};
+}
+
+/// Removes clauses subsumed by another clause (step 1 of §5.3).
+void removeSubsumed(std::vector<Conjunct> &Clauses) {
+  for (size_t I = 0; I < Clauses.size();) {
+    bool Subsumed = false;
+    for (size_t J = 0; J < Clauses.size() && !Subsumed; ++J) {
+      if (I == J)
+        continue;
+      if (implies(Clauses[I], Clauses[J])) {
+        // Tie-break identical clauses: drop the later one.
+        if (!(implies(Clauses[J], Clauses[I]) && J > I))
+          Subsumed = true;
+      }
+    }
+    if (Subsumed)
+      Clauses.erase(Clauses.begin() + I);
+    else
+      ++I;
+  }
+}
+
+/// Brute-force articulation check: does removing node \p Skip disconnect
+/// the component \p Nodes of the overlap graph \p Adj?
+bool isArticulation(const std::vector<size_t> &Nodes,
+                    const std::vector<std::vector<bool>> &Adj, size_t Skip) {
+  std::vector<size_t> Rest;
+  for (size_t N : Nodes)
+    if (N != Skip)
+      Rest.push_back(N);
+  if (Rest.size() <= 1)
+    return false;
+  // BFS over Rest.
+  std::vector<bool> Seen(Adj.size(), false);
+  std::vector<size_t> Work{Rest[0]};
+  Seen[Rest[0]] = true;
+  size_t Count = 1;
+  while (!Work.empty()) {
+    size_t N = Work.back();
+    Work.pop_back();
+    for (size_t M : Rest)
+      if (!Seen[M] && Adj[N][M]) {
+        Seen[M] = true;
+        ++Count;
+        Work.push_back(M);
+      }
+  }
+  return Count != Rest.size();
+}
+
+std::vector<Conjunct> makeDisjointComponent(std::vector<Conjunct> Clauses);
+
+} // namespace
+
+std::vector<Conjunct> omega::negateConjunct(const Conjunct &C) {
+  assert(C.wildcards().empty() &&
+         "negateConjunct requires a wildcard-free clause (simplify first)");
+  // Disjoint negation (§5.3 step 4):
+  //   ¬(c1 ∧ c2 ∧ ...) = ¬c1 + (c1 ∧ ¬c2) + (c1 ∧ c2 ∧ ¬c3) + ...
+  // and each ¬ci expands into branches that are themselves disjoint.
+  std::vector<Conjunct> Out;
+  Conjunct Prefix;
+  for (const Constraint &K : C.constraints()) {
+    std::vector<Constraint> Branches;
+    switch (K.kind()) {
+    case ConstraintKind::Ge:
+      Branches.push_back(Constraint::ge(-K.expr() - AffineExpr(1)));
+      break;
+    case ConstraintKind::Eq:
+      Branches.push_back(Constraint::ge(K.expr() - AffineExpr(1)));
+      Branches.push_back(Constraint::ge(-K.expr() - AffineExpr(1)));
+      break;
+    case ConstraintKind::Stride:
+      for (BigInt R(1); R < K.modulus(); ++R)
+        Branches.push_back(
+            Constraint::stride(K.modulus(), K.expr() - AffineExpr(R)));
+      break;
+    }
+    for (Constraint &B : Branches) {
+      Conjunct Piece = Prefix;
+      Piece.add(std::move(B));
+      if (feasible(Piece))
+        Out.push_back(std::move(Piece));
+    }
+    Prefix.add(K);
+  }
+  return Out;
+}
+
+std::vector<Conjunct> omega::simplify(const Formula &F, SimplifyOptions Opts) {
+  assert((!Opts.Disjoint || Opts.Mode == ShadowMode::Exact) &&
+         "disjoint DNF requires exact simplification");
+  std::vector<Conjunct> D = toDNF(F, Opts.Mode);
+  pruneInfeasible(D);
+  for (Conjunct &C : D)
+    removeRedundant(C, /*Aggressive=*/true);
+  removeSubsumed(D);
+  if (Opts.Disjoint)
+    D = makeDisjoint(std::move(D));
+  coalesceClauses(D);
+  return D;
+}
+
+std::optional<Conjunct> omega::coalescePair(const Conjunct &A,
+                                            const Conjunct &B) {
+  if (!A.wildcards().empty() || !B.wildcards().empty())
+    return std::nullopt;
+  // Candidate: constraints of one side the other side also satisfies.  It
+  // contains A ∨ B by construction; it equals the union iff it has no
+  // point outside both.
+  Conjunct Candidate;
+  for (const Constraint &K : A.constraints()) {
+    Conjunct Single;
+    Single.add(K);
+    if (implies(B, Single))
+      Candidate.add(K);
+  }
+  for (const Constraint &K : B.constraints()) {
+    Conjunct Single;
+    Single.add(K);
+    if (implies(A, Single) &&
+        std::find(Candidate.constraints().begin(),
+                  Candidate.constraints().end(),
+                  K) == Candidate.constraints().end())
+      Candidate.add(K);
+  }
+  // Candidate \ (A ∨ B) must be empty: for every branch pair of the two
+  // negations, Candidate ∧ ¬A-branch ∧ ¬B-branch must be infeasible.
+  for (const Conjunct &NA : negateConjunct(A))
+    for (const Conjunct &NB : negateConjunct(B)) {
+      Conjunct Test = Candidate;
+      Test.addAll(NA);
+      Test.addAll(NB);
+      if (feasible(Test))
+        return std::nullopt;
+    }
+  removeRedundant(Candidate, /*Aggressive=*/true);
+  return Candidate;
+}
+
+void omega::coalesceClauses(std::vector<Conjunct> &Clauses) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < Clauses.size() && !Changed; ++I)
+      for (size_t J = I + 1; J < Clauses.size() && !Changed; ++J) {
+        std::optional<Conjunct> M = coalescePair(Clauses[I], Clauses[J]);
+        if (!M)
+          continue;
+        Clauses[I] = std::move(*M);
+        Clauses.erase(Clauses.begin() + J);
+        Changed = true;
+      }
+  }
+}
+
+bool omega::pairwiseDisjoint(const std::vector<Conjunct> &Clauses) {
+  for (size_t I = 0; I < Clauses.size(); ++I)
+    for (size_t J = I + 1; J < Clauses.size(); ++J)
+      if (feasible(Conjunct::merge(Clauses[I], Clauses[J])))
+        return false;
+  return true;
+}
+
+namespace {
+
+std::vector<Conjunct> makeDisjointComponent(std::vector<Conjunct> Clauses) {
+  if (Clauses.size() <= 1)
+    return Clauses;
+
+  // Rebuild the overlap graph for this component.
+  size_t N = Clauses.size();
+  std::vector<std::vector<bool>> Adj(N, std::vector<bool>(N, false));
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J)
+      if (feasible(Conjunct::merge(Clauses[I], Clauses[J])))
+        Adj[I][J] = Adj[J][I] = true;
+
+  std::vector<size_t> Nodes(N);
+  for (size_t I = 0; I < N; ++I)
+    Nodes[I] = I;
+
+  // Step 3: prefer an articulation point; tie-break on fewest constraints.
+  size_t Pick = N;
+  bool PickArt = false;
+  for (size_t I = 0; I < N; ++I) {
+    bool Art = isArticulation(Nodes, Adj, I);
+    size_t Size = Clauses[I].constraints().size();
+    if (Pick == N || (Art && !PickArt) ||
+        (Art == PickArt && Size < Clauses[Pick].constraints().size())) {
+      Pick = I;
+      PickArt = Art;
+    }
+  }
+
+  Conjunct C1 = std::move(Clauses[Pick]);
+  Clauses.erase(Clauses.begin() + Pick);
+
+  // Step 4: reduce C1 against the rest via gist, then distribute its
+  // disjoint negation.
+  Conjunct Reduced;
+  {
+    // gist C1 given (C2 ∨ ... ∨ Cq) = ∧ gist(C1 given Cj), deduped.
+    std::vector<Constraint> Acc;
+    for (const Conjunct &Cj : Clauses) {
+      Conjunct G = gist(C1, Cj);
+      for (const Constraint &K : G.constraints())
+        if (std::find(Acc.begin(), Acc.end(), K) == Acc.end())
+          Acc.push_back(K);
+    }
+    for (Constraint &K : Acc)
+      Reduced.add(std::move(K));
+  }
+
+  std::vector<Conjunct> Result{std::move(C1)};
+  for (const Conjunct &Piece : negateConjunct(Reduced)) {
+    std::vector<Conjunct> Group;
+    for (const Conjunct &Cj : Clauses) {
+      Conjunct M = Conjunct::merge(Cj, Piece);
+      if (feasible(M)) {
+        removeRedundant(M, /*Aggressive=*/true);
+        Group.push_back(std::move(M));
+      }
+    }
+    // Groups from distinct negation pieces are disjoint; within a group,
+    // recurse.
+    for (Conjunct &G : makeDisjoint(std::move(Group)))
+      Result.push_back(std::move(G));
+  }
+  return Result;
+}
+
+} // namespace
+
+std::vector<Conjunct> omega::makeDisjoint(std::vector<Conjunct> Clauses) {
+  pruneInfeasible(Clauses);
+  removeSubsumed(Clauses);
+  if (Clauses.size() <= 1)
+    return Clauses;
+
+  // Step 2: connected components of the overlap graph.
+  size_t N = Clauses.size();
+  std::vector<std::vector<bool>> Adj(N, std::vector<bool>(N, false));
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J)
+      if (feasible(Conjunct::merge(Clauses[I], Clauses[J])))
+        Adj[I][J] = Adj[J][I] = true;
+
+  std::vector<int> Comp(N, -1);
+  int NumComps = 0;
+  for (size_t I = 0; I < N; ++I) {
+    if (Comp[I] >= 0)
+      continue;
+    std::vector<size_t> Work{I};
+    Comp[I] = NumComps;
+    while (!Work.empty()) {
+      size_t K = Work.back();
+      Work.pop_back();
+      for (size_t J = 0; J < N; ++J)
+        if (Adj[K][J] && Comp[J] < 0) {
+          Comp[J] = NumComps;
+          Work.push_back(J);
+        }
+    }
+    ++NumComps;
+  }
+
+  std::vector<Conjunct> Result;
+  for (int G = 0; G < NumComps; ++G) {
+    std::vector<Conjunct> Group;
+    for (size_t I = 0; I < N; ++I)
+      if (Comp[I] == G)
+        Group.push_back(Clauses[I]);
+    for (Conjunct &C : makeDisjointComponent(std::move(Group)))
+      Result.push_back(std::move(C));
+  }
+  return Result;
+}
+
+Formula omega::renameFreeVars(const Formula &F,
+                              const std::map<std::string, std::string> &Map) {
+  return renameFree(F, Map);
+}

@@ -1,0 +1,26 @@
+//===- omega/Verify.cpp - Formula-level verification ---------------------===//
+
+#include "omega/Verify.h"
+
+using namespace omega;
+
+bool omega::isSatisfiable(const Formula &F) {
+  // Satisfiable iff some DNF clause survives simplification (simplify
+  // already prunes infeasible clauses).
+  return !simplify(F).empty();
+}
+
+bool omega::isUnsatisfiable(const Formula &F) { return !isSatisfiable(F); }
+
+bool omega::isTautology(const Formula &F) {
+  return isUnsatisfiable(Formula::negation(F));
+}
+
+bool omega::verifyImplies(const Formula &P, const Formula &Q) {
+  // P => Q  iff  P ∧ ¬Q is unsatisfiable.
+  return isUnsatisfiable(P && !Q);
+}
+
+bool omega::verifyEquivalent(const Formula &P, const Formula &Q) {
+  return verifyImplies(P, Q) && verifyImplies(Q, P);
+}

@@ -1,0 +1,40 @@
+//===- omega/Verify.h - Formula-level verification --------------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §2.4 of the paper: "we can verify formulas of the form P => Q ... We
+/// can combine this capability with our ability to eliminate existentially
+/// quantified variables to verify more complicated formulas such as
+/// (∃y s.t. P) => (∃z s.t. Q)."  Free variables are implicitly
+/// universally quantified.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_OMEGA_VERIFY_H
+#define OMEGA_OMEGA_VERIFY_H
+
+#include "omega/Omega.h"
+
+namespace omega {
+
+/// True iff \p F holds for every assignment of its free variables.
+bool isTautology(const Formula &F);
+
+/// True iff \p F holds for no assignment.
+bool isUnsatisfiable(const Formula &F);
+
+/// True iff \p F has at least one solution.
+bool isSatisfiable(const Formula &F);
+
+/// True iff P => Q for all assignments of the shared free variables.
+bool verifyImplies(const Formula &P, const Formula &Q);
+
+/// True iff P and Q have exactly the same solutions.
+bool verifyEquivalent(const Formula &P, const Formula &Q);
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_VERIFY_H

@@ -1,0 +1,44 @@
+//===- poly/Faulhaber.h - Power-sum polynomials -----------------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §4.1 of the paper: closed forms for Σ_{i=1}^{n} i^p ("fairly standard
+/// formulas for sums of powers of integers ... we expect it will be
+/// sufficient to hard code the formulas for p up to 10").  We compute the
+/// Faulhaber polynomial S_p for arbitrary p from Bernoulli numbers; the
+/// first eleven are additionally pinned by unit tests against the CRC
+/// tables.  The polynomial identity S_p(X) - S_p(X-1) = X^p makes the
+/// telescoped form Σ_{v=L}^{U} v^p = S_p(U) - S_p(L-1) exact for *all*
+/// integer L <= U (positive or negative), which subsumes the paper's
+/// four-piece decomposition of §4.2 (see DESIGN.md, Substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_POLY_FAULHABER_H
+#define OMEGA_POLY_FAULHABER_H
+
+#include "poly/QuasiPolynomial.h"
+
+namespace omega {
+
+/// Bernoulli number B_p with the B1 = +1/2 convention (so that
+/// S_p(n) = 1/(p+1) Σ_j C(p+1, j) B_j n^{p+1-j}).  Values are memoized.
+Rational bernoulli(unsigned P);
+
+/// Binomial coefficient C(n, k) as an exact BigInt.
+BigInt binomial(unsigned N, unsigned K);
+
+/// The Faulhaber polynomial S_p evaluated at polynomial argument \p X:
+/// S_p(X) = Σ_{i=1}^{X} i^p as a degree-(p+1) quasi-polynomial in X.
+QuasiPolynomial faulhaber(unsigned P, const QuasiPolynomial &X);
+
+/// Σ_{v=L}^{U} v^p = S_p(U) - S_p(L-1); exact for all integers L <= U.
+QuasiPolynomial powerSumRange(unsigned P, const QuasiPolynomial &L,
+                              const QuasiPolynomial &U);
+
+} // namespace omega
+
+#endif // OMEGA_POLY_FAULHABER_H

@@ -1,0 +1,95 @@
+//===- poly/PiecewiseValue.cpp - Guarded symbolic answers ----------------===//
+
+#include "poly/PiecewiseValue.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+using namespace omega;
+
+PiecewiseValue &PiecewiseValue::operator+=(const PiecewiseValue &Other) {
+  Unbounded = Unbounded || Other.Unbounded;
+  for (const Piece &P : Other.Pieces)
+    Pieces.push_back(P);
+  return *this;
+}
+
+PiecewiseValue &PiecewiseValue::operator*=(const Rational &C) {
+  for (Piece &P : Pieces)
+    P.Value *= C;
+  return *this;
+}
+
+Rational PiecewiseValue::evaluate(const Assignment &Values) const {
+  assert(!Unbounded && "evaluating an unbounded sum");
+  Rational R(0);
+  for (const Piece &P : Pieces)
+    if (P.Guard.contains(Values))
+      R += P.Value.evaluate(Values);
+  return R;
+}
+
+BigInt PiecewiseValue::evaluateInt(const Assignment &Values) const {
+  Rational R = evaluate(Values);
+  assert(R.isInteger() && "piecewise value is not integral at this point");
+  return R.asInteger();
+}
+
+void PiecewiseValue::mergeSyntactic() {
+  std::vector<Piece> Out;
+  for (Piece &P : Pieces) {
+    if (P.Value.isZero())
+      continue;
+    bool Merged = false;
+    for (Piece &Q : Out) {
+      // Same guard (as ordered constraint lists after sorting).
+      auto Key = [](const Conjunct &C) {
+        std::vector<Constraint> Ks = C.constraints();
+        std::sort(Ks.begin(), Ks.end());
+        return Ks;
+      };
+      if (Key(Q.Guard) == Key(P.Guard)) {
+        Q.Value += P.Value;
+        Merged = true;
+        break;
+      }
+    }
+    if (!Merged)
+      Out.push_back(std::move(P));
+  }
+  // Merging may have produced zero values.
+  Out.erase(std::remove_if(Out.begin(), Out.end(),
+                           [](const Piece &P) { return P.Value.isZero(); }),
+            Out.end());
+  Pieces = std::move(Out);
+}
+
+std::string PiecewiseValue::toString() const {
+  if (Unbounded)
+    return "<unbounded>";
+  if (Pieces.empty())
+    return "0";
+  std::ostringstream OS;
+  for (size_t I = 0; I < Pieces.size(); ++I) {
+    if (I)
+      OS << " + ";
+    if (Pieces[I].Guard.constraints().empty()) {
+      OS << "(" << Pieces[I].Value << ")";
+      continue;
+    }
+    OS << "(if ";
+    const auto &Ks = Pieces[I].Guard.constraints();
+    for (size_t J = 0; J < Ks.size(); ++J) {
+      if (J)
+        OS << " && ";
+      OS << Ks[J];
+    }
+    OS << " : " << Pieces[I].Value << ")";
+  }
+  return OS.str();
+}
+
+std::ostream &omega::operator<<(std::ostream &OS, const PiecewiseValue &V) {
+  return OS << V.toString();
+}

@@ -1,0 +1,82 @@
+//===- poly/PiecewiseValue.h - Guarded symbolic answers ---------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shape of the paper's answers: a sum of guarded terms
+/// `(Σ : guard : value)` where each guard is a conjunction of affine and
+/// stride constraints over the symbolic constants, and each value is a
+/// quasi-polynomial.  The value of the whole at a point is the SUM of the
+/// values of all pieces whose guard holds (the paper's answers add several
+/// guarded summations, e.g. the two terms of Example 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_POLY_PIECEWISEVALUE_H
+#define OMEGA_POLY_PIECEWISEVALUE_H
+
+#include "poly/QuasiPolynomial.h"
+#include "presburger/Conjunct.h"
+
+#include <iosfwd>
+#include <vector>
+
+namespace omega {
+
+/// One guarded term.
+struct Piece {
+  Conjunct Guard;        ///< Wildcard-free; affine + stride constraints.
+  QuasiPolynomial Value; ///< The term's value where the guard holds.
+};
+
+/// A sum of guarded terms, plus an "unbounded" marker for divergent sums.
+class PiecewiseValue {
+public:
+  PiecewiseValue() = default;
+  explicit PiecewiseValue(QuasiPolynomial Unguarded) {
+    Pieces.push_back({Conjunct(), std::move(Unguarded)});
+  }
+
+  static PiecewiseValue unbounded() {
+    PiecewiseValue V;
+    V.Unbounded = true;
+    return V;
+  }
+
+  const std::vector<Piece> &pieces() const { return Pieces; }
+  std::vector<Piece> &pieces() { return Pieces; }
+  bool isUnbounded() const { return Unbounded; }
+
+  void add(Piece P) { Pieces.push_back(std::move(P)); }
+  /// Concatenates the pieces of \p Other into this value (summing).
+  PiecewiseValue &operator+=(const PiecewiseValue &Other);
+
+  /// Scales every piece's value.
+  PiecewiseValue &operator*=(const Rational &C);
+
+  /// Evaluates at a full assignment of the symbolic constants.  Asserts
+  /// the value is bounded.
+  Rational evaluate(const Assignment &Values) const;
+  /// Evaluates and asserts the result is an integer (true of any solution
+  /// count).
+  BigInt evaluateInt(const Assignment &Values) const;
+
+  /// Syntactic cleanup: merges pieces with identical guards, drops
+  /// zero-valued pieces.  (Feasibility-based pruning lives in counting, to
+  /// keep this module independent of the Omega test.)
+  void mergeSyntactic();
+
+  std::string toString() const;
+
+private:
+  std::vector<Piece> Pieces;
+  bool Unbounded = false;
+};
+
+std::ostream &operator<<(std::ostream &OS, const PiecewiseValue &V);
+
+} // namespace omega
+
+#endif // OMEGA_POLY_PIECEWISEVALUE_H

@@ -1,0 +1,153 @@
+//===- presburger/AffineExpr.cpp - Integer affine expressions ------------===//
+
+#include "presburger/AffineExpr.h"
+
+#include <atomic>
+#include <ostream>
+#include <sstream>
+
+using namespace omega;
+
+std::string omega::freshWildcard() {
+  static std::atomic<unsigned> Counter{0};
+  return "$" + std::to_string(Counter.fetch_add(1));
+}
+
+void AffineExpr::setCoeff(const std::string &Name, BigInt C) {
+  if (C.isZero())
+    Coeffs.erase(Name);
+  else
+    Coeffs[Name] = std::move(C);
+}
+
+AffineExpr AffineExpr::operator-() const {
+  AffineExpr R;
+  R.Const = -Const;
+  for (const auto &[Name, C] : Coeffs)
+    R.Coeffs.emplace(Name, -C);
+  return R;
+}
+
+AffineExpr &AffineExpr::operator+=(const AffineExpr &RHS) {
+  Const += RHS.Const;
+  for (const auto &[Name, C] : RHS.Coeffs) {
+    auto It = Coeffs.find(Name);
+    if (It == Coeffs.end()) {
+      Coeffs.emplace(Name, C);
+      continue;
+    }
+    It->second += C;
+    if (It->second.isZero())
+      Coeffs.erase(It);
+  }
+  return *this;
+}
+
+AffineExpr &AffineExpr::operator-=(const AffineExpr &RHS) {
+  return *this += -RHS;
+}
+
+AffineExpr &AffineExpr::operator*=(const BigInt &Factor) {
+  if (Factor.isZero()) {
+    Coeffs.clear();
+    Const = BigInt(0);
+    return *this;
+  }
+  Const *= Factor;
+  for (auto &[Name, C] : Coeffs)
+    C *= Factor;
+  return *this;
+}
+
+void AffineExpr::substitute(const std::string &Name,
+                            const AffineExpr &Replacement) {
+  auto It = Coeffs.find(Name);
+  if (It == Coeffs.end())
+    return;
+  assert(!Replacement.mentions(Name) &&
+         "substitution replacement mentions the substituted variable");
+  BigInt C = It->second;
+  Coeffs.erase(It);
+  *this += C * Replacement;
+}
+
+void AffineExpr::renameVar(const std::string &From, const std::string &To) {
+  auto It = Coeffs.find(From);
+  if (It == Coeffs.end())
+    return;
+  assert(!Coeffs.count(To) && "rename target already present");
+  BigInt C = std::move(It->second);
+  Coeffs.erase(It);
+  Coeffs.emplace(To, std::move(C));
+}
+
+BigInt AffineExpr::evaluate(const Assignment &Values) const {
+  BigInt R = Const;
+  for (const auto &[Name, C] : Coeffs) {
+    auto It = Values.find(Name);
+    assert(It != Values.end() && "unbound variable in evaluate");
+    R += C * It->second;
+  }
+  return R;
+}
+
+BigInt AffineExpr::coeffGcd() const {
+  BigInt G(0);
+  for (const auto &[Name, C] : Coeffs) {
+    (void)Name;
+    G = BigInt::gcd(G, C);
+    if (G.isOne())
+      break;
+  }
+  return G;
+}
+
+void AffineExpr::collectVars(VarSet &Out) const {
+  for (const auto &[Name, C] : Coeffs) {
+    (void)C;
+    Out.insert(Name);
+  }
+}
+
+std::string AffineExpr::toString() const {
+  if (Coeffs.empty())
+    return Const.toString();
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &[Name, C] : Coeffs) {
+    if (First) {
+      if (C.isMinusOne())
+        OS << "-";
+      else if (!C.isOne())
+        OS << C << "*";
+    } else if (C.isPositive()) {
+      OS << " + ";
+      if (!C.isOne())
+        OS << C << "*";
+    } else {
+      OS << " - ";
+      if (!C.isMinusOne())
+        OS << -C << "*";
+    }
+    OS << Name;
+    First = false;
+  }
+  if (Const.isPositive())
+    OS << " + " << Const;
+  else if (Const.isNegative())
+    OS << " - " << -Const;
+  return OS.str();
+}
+
+size_t AffineExpr::hash() const {
+  size_t H = Const.hash();
+  for (const auto &[Name, C] : Coeffs) {
+    H = H * 131 + std::hash<std::string>()(Name);
+    H = H * 131 + C.hash();
+  }
+  return H;
+}
+
+std::ostream &omega::operator<<(std::ostream &OS, const AffineExpr &E) {
+  return OS << E.toString();
+}

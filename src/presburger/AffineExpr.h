@@ -1,0 +1,123 @@
+//===- presburger/AffineExpr.h - Integer affine expressions ----*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An affine expression `c0 + Σ ci * vi` with BigInt coefficients over named
+/// integer variables — the atoms of Presburger constraints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_PRESBURGER_AFFINEEXPR_H
+#define OMEGA_PRESBURGER_AFFINEEXPR_H
+
+#include "presburger/Var.h"
+#include "support/BigInt.h"
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace omega {
+
+/// Sparse affine expression over named integer variables.  Zero coefficients
+/// are never stored, so equal expressions have equal representations.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+  /// Implicit conversion from constants for expression-building ergonomics.
+  AffineExpr(BigInt Constant) : Const(std::move(Constant)) {}
+  AffineExpr(long long Constant) : Const(Constant) {}
+  AffineExpr(long Constant) : Const(Constant) {}
+  AffineExpr(int Constant) : Const(Constant) {}
+
+  static AffineExpr variable(const std::string &Name) {
+    AffineExpr E;
+    E.Coeffs[Name] = BigInt(1);
+    return E;
+  }
+
+  const BigInt &constant() const { return Const; }
+  void setConstant(BigInt C) { Const = std::move(C); }
+
+  /// Returns the coefficient of \p Name (zero if absent).
+  BigInt coeff(const std::string &Name) const {
+    auto It = Coeffs.find(Name);
+    return It == Coeffs.end() ? BigInt(0) : It->second;
+  }
+  void setCoeff(const std::string &Name, BigInt C);
+
+  /// Variables with nonzero coefficients, in deterministic order.
+  const std::map<std::string, BigInt> &terms() const { return Coeffs; }
+
+  bool isConstant() const { return Coeffs.empty(); }
+  bool isZero() const { return Coeffs.empty() && Const.isZero(); }
+  /// Number of variables with nonzero coefficients.
+  unsigned numVars() const { return static_cast<unsigned>(Coeffs.size()); }
+
+  AffineExpr operator-() const;
+  AffineExpr &operator+=(const AffineExpr &RHS);
+  AffineExpr &operator-=(const AffineExpr &RHS);
+  AffineExpr &operator*=(const BigInt &Factor);
+
+  friend AffineExpr operator+(AffineExpr L, const AffineExpr &R) {
+    return L += R;
+  }
+  friend AffineExpr operator-(AffineExpr L, const AffineExpr &R) {
+    return L -= R;
+  }
+  friend AffineExpr operator*(AffineExpr L, const BigInt &R) {
+    return L *= R;
+  }
+  friend AffineExpr operator*(const BigInt &L, AffineExpr R) {
+    return R *= L;
+  }
+
+  friend bool operator==(const AffineExpr &L, const AffineExpr &R) {
+    return L.Const == R.Const && L.Coeffs == R.Coeffs;
+  }
+  friend bool operator!=(const AffineExpr &L, const AffineExpr &R) {
+    return !(L == R);
+  }
+  /// Arbitrary total order for use in ordered containers.
+  friend bool operator<(const AffineExpr &L, const AffineExpr &R) {
+    if (L.Const != R.Const)
+      return L.Const < R.Const;
+    return L.Coeffs < R.Coeffs;
+  }
+
+  /// Replaces \p Name with \p Replacement (which may itself mention other
+  /// variables, but not \p Name).
+  void substitute(const std::string &Name, const AffineExpr &Replacement);
+
+  /// Renames a variable; the new name must not already appear.
+  void renameVar(const std::string &From, const std::string &To);
+
+  /// Evaluates with every variable bound by \p Values; asserts all present.
+  BigInt evaluate(const Assignment &Values) const;
+
+  /// GCD of the variable coefficients only (0 when constant).
+  BigInt coeffGcd() const;
+
+  void collectVars(VarSet &Out) const;
+  bool mentions(const std::string &Name) const {
+    return Coeffs.count(Name) != 0;
+  }
+
+  /// Renders e.g. "2i - 3j + 7".
+  std::string toString() const;
+
+  size_t hash() const;
+
+private:
+  std::map<std::string, BigInt> Coeffs;
+  BigInt Const;
+};
+
+std::ostream &operator<<(std::ostream &OS, const AffineExpr &E);
+
+} // namespace omega
+
+#endif // OMEGA_PRESBURGER_AFFINEEXPR_H

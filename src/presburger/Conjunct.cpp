@@ -1,0 +1,129 @@
+//===- presburger/Conjunct.cpp - Conjunctive clauses ---------------------===//
+
+#include "presburger/Conjunct.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace omega;
+
+void Conjunct::addAll(const Conjunct &Other) {
+  for (const Constraint &C : Other.Items)
+    Items.push_back(C);
+  for (const std::string &W : Other.Wildcards)
+    Wildcards.insert(W);
+}
+
+void Conjunct::pruneUnusedWildcards() {
+  VarSet Used = mentionedVars();
+  for (auto It = Wildcards.begin(); It != Wildcards.end();) {
+    if (!Used.count(*It))
+      It = Wildcards.erase(It);
+    else
+      ++It;
+  }
+}
+
+VarSet Conjunct::mentionedVars() const {
+  VarSet Out;
+  for (const Constraint &C : Items)
+    C.collectVars(Out);
+  return Out;
+}
+
+VarSet Conjunct::freeVars() const {
+  VarSet Out = mentionedVars();
+  for (const std::string &W : Wildcards)
+    Out.erase(W);
+  return Out;
+}
+
+bool Conjunct::mentions(const std::string &Name) const {
+  for (const Constraint &C : Items)
+    if (C.mentions(Name))
+      return true;
+  return false;
+}
+
+void Conjunct::substitute(const std::string &Name,
+                          const AffineExpr &Replacement) {
+  for (Constraint &C : Items)
+    C.substitute(Name, Replacement);
+  Wildcards.erase(Name);
+}
+
+void Conjunct::renameVar(const std::string &From, const std::string &To) {
+  assert(From != To && "rename to same name");
+  for (Constraint &C : Items)
+    C.renameVar(From, To);
+  if (Wildcards.erase(From))
+    Wildcards.insert(To);
+}
+
+void Conjunct::refreshWildcards() {
+  VarSet Old = Wildcards;
+  for (const std::string &W : Old)
+    renameVar(W, freshWildcard());
+}
+
+bool Conjunct::contains(const Assignment &Values) const {
+  assert(Wildcards.empty() &&
+         "Conjunct::contains requires a wildcard-free clause");
+  for (const Constraint &C : Items)
+    if (!C.holds(Values))
+      return false;
+  return true;
+}
+
+Conjunct Conjunct::merge(const Conjunct &A, const Conjunct &B) {
+  Conjunct RA = A, RB = B;
+  RA.refreshWildcards();
+  RB.refreshWildcards();
+  RA.addAll(RB);
+  return RA;
+}
+
+void Conjunct::stridesToWildcards() {
+  std::vector<Constraint> NewItems;
+  NewItems.reserve(Items.size());
+  for (Constraint &C : Items) {
+    if (!C.isStride()) {
+      NewItems.push_back(std::move(C));
+      continue;
+    }
+    // c | e  ==>  ∃α: e - cα = 0.
+    std::string Alpha = freshWildcard();
+    AffineExpr E = C.expr();
+    E.setCoeff(Alpha, -C.modulus());
+    NewItems.push_back(Constraint::eq(std::move(E)));
+    Wildcards.insert(Alpha);
+  }
+  Items = std::move(NewItems);
+}
+
+std::string Conjunct::toString() const {
+  std::ostringstream OS;
+  if (!Wildcards.empty()) {
+    OS << "exists ";
+    bool First = true;
+    for (const std::string &W : Wildcards) {
+      if (!First)
+        OS << ", ";
+      OS << W;
+      First = false;
+    }
+    OS << ": ";
+  }
+  OS << "{";
+  for (size_t I = 0; I < Items.size(); ++I) {
+    if (I)
+      OS << "; ";
+    OS << " " << Items[I];
+  }
+  OS << (Items.empty() ? "}" : " }");
+  return OS.str();
+}
+
+std::ostream &omega::operator<<(std::ostream &OS, const Conjunct &C) {
+  return OS << C.toString();
+}

@@ -1,0 +1,100 @@
+//===- presburger/Conjunct.h - Conjunctive clauses -------------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Conjunct is one clause of a disjunctive normal form: a conjunction of
+/// affine equalities, inequalities and stride constraints, over free
+/// variables plus clause-local existentially quantified *wildcards* (the
+/// paper's "auxiliary variables" of the projected format, §2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_PRESBURGER_CONJUNCT_H
+#define OMEGA_PRESBURGER_CONJUNCT_H
+
+#include "presburger/Constraint.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/// One DNF clause: /\ constraints, with some variables bound by ∃.
+class Conjunct {
+public:
+  Conjunct() = default;
+
+  /// The always-true clause.
+  static Conjunct trueConjunct() { return Conjunct(); }
+
+  void add(Constraint C) { Items.push_back(std::move(C)); }
+  void addAll(const Conjunct &Other);
+
+  const std::vector<Constraint> &constraints() const { return Items; }
+  std::vector<Constraint> &constraints() { return Items; }
+  bool empty() const { return Items.empty(); }
+
+  const VarSet &wildcards() const { return Wildcards; }
+  void addWildcard(const std::string &Name) { Wildcards.insert(Name); }
+  bool isWildcard(const std::string &Name) const {
+    return Wildcards.count(Name) != 0;
+  }
+  /// Drops wildcard declarations that no constraint mentions.
+  void pruneUnusedWildcards();
+
+  /// Removes and returns the wildcard set (used by projection, which takes
+  /// ownership of the existential structure).
+  VarSet takeWildcards() {
+    VarSet Out;
+    std::swap(Out, Wildcards);
+    return Out;
+  }
+
+  /// All variables mentioned by constraints (including wildcards).
+  VarSet mentionedVars() const;
+  /// Mentioned variables that are not wildcards.
+  VarSet freeVars() const;
+
+  bool mentions(const std::string &Name) const;
+
+  /// Substitutes Name := Replacement in every constraint.  If Name was a
+  /// wildcard it stops being one.  Any *new* variables introduced by
+  /// Replacement are not quantified.
+  void substitute(const std::string &Name, const AffineExpr &Replacement);
+
+  /// Renames a variable (From must not be To; To must be fresh).
+  void renameVar(const std::string &From, const std::string &To);
+
+  /// Gives every wildcard a globally fresh name (capture-free merging).
+  void refreshWildcards();
+
+  /// True iff all constraints hold at \p Values.  All free variables must be
+  /// bound and the clause must have no wildcards (use
+  /// omega::containsPoint for clauses with wildcards); stride constraints
+  /// are checked directly.
+  bool contains(const Assignment &Values) const;
+
+  /// Conjunction of two clauses (wildcards are refreshed to avoid capture).
+  static Conjunct merge(const Conjunct &A, const Conjunct &B);
+
+  /// Converts stride constraints `c | e` into projected format
+  /// `∃α: e = cα` (§3.2).  After this, no Stride constraints remain.
+  void stridesToWildcards();
+
+  /// Renders e.g. "exists $1: { i - 2*$1 = 0; i <= n }".
+  std::string toString() const;
+
+private:
+  std::vector<Constraint> Items;
+  VarSet Wildcards;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Conjunct &C);
+
+} // namespace omega
+
+#endif // OMEGA_PRESBURGER_CONJUNCT_H

@@ -1,0 +1,126 @@
+//===- presburger/Constraint.cpp - Linear and stride constraints ---------===//
+
+#include "presburger/Constraint.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace omega;
+
+bool Constraint::holds(const Assignment &Values) const {
+  BigInt V = Expr.evaluate(Values);
+  switch (Kind) {
+  case ConstraintKind::Eq:
+    return V.isZero();
+  case ConstraintKind::Ge:
+    return V.sign() >= 0;
+  case ConstraintKind::Stride:
+    return Mod.divides(V);
+  }
+  assert(false && "unknown constraint kind");
+  return false;
+}
+
+bool Constraint::isTriviallyTrue() const {
+  if (!Expr.isConstant())
+    return false;
+  switch (Kind) {
+  case ConstraintKind::Eq:
+    return Expr.constant().isZero();
+  case ConstraintKind::Ge:
+    return Expr.constant().sign() >= 0;
+  case ConstraintKind::Stride:
+    return Mod.divides(Expr.constant());
+  }
+  return false;
+}
+
+bool Constraint::isTriviallyFalse() const {
+  return Expr.isConstant() && !isTriviallyTrue();
+}
+
+bool Constraint::normalize() {
+  switch (Kind) {
+  case ConstraintKind::Eq: {
+    BigInt G = Expr.coeffGcd();
+    if (G.isZero())
+      return Expr.constant().isZero();
+    if (!G.divides(Expr.constant()))
+      return false; // e.g. 2x + 1 = 0 has no integer solution.
+    if (!G.isOne()) {
+      AffineExpr E;
+      E.setConstant(Expr.constant() / G);
+      for (const auto &[Name, C] : Expr.terms())
+        E.setCoeff(Name, C / G);
+      Expr = std::move(E);
+    }
+    return true;
+  }
+  case ConstraintKind::Ge: {
+    BigInt G = Expr.coeffGcd();
+    if (G.isZero())
+      return Expr.constant().sign() >= 0;
+    if (!G.isOne()) {
+      // Tightening: g*e + c >= 0 over integers iff e + floor(c/g) >= 0.
+      AffineExpr E;
+      E.setConstant(BigInt::floorDiv(Expr.constant(), G));
+      for (const auto &[Name, C] : Expr.terms())
+        E.setCoeff(Name, C / G);
+      Expr = std::move(E);
+    }
+    return true;
+  }
+  case ConstraintKind::Stride: {
+    if (Mod.isOne()) {
+      // 1 | e is trivially true; canonicalize to 0 = 0.
+      Kind = ConstraintKind::Eq;
+      Expr = AffineExpr(0);
+      Mod = BigInt(0);
+      return true;
+    }
+    // Reduce coefficients and constant into [0, Mod).
+    AffineExpr E;
+    E.setConstant(BigInt::floorMod(Expr.constant(), Mod));
+    for (const auto &[Name, C] : Expr.terms())
+      E.setCoeff(Name, BigInt::floorMod(C, Mod));
+    Expr = std::move(E);
+    if (Expr.isConstant())
+      return Mod.divides(Expr.constant());
+    // Canonicalize by a unit: when the leading coefficient is invertible
+    // mod Mod, scale so it becomes 1 (m | 2x+2 with m=3 becomes m | x+1).
+    const BigInt &Lead = Expr.terms().begin()->second;
+    BigInt X, Y;
+    if (BigInt::extendedGcd(Lead, Mod, X, Y).isOne()) {
+      BigInt Inv = BigInt::floorMod(X, Mod);
+      AffineExpr Scaled;
+      Scaled.setConstant(BigInt::floorMod(Expr.constant() * Inv, Mod));
+      for (const auto &[Name, C] : Expr.terms())
+        Scaled.setCoeff(Name, BigInt::floorMod(C * Inv, Mod));
+      Expr = std::move(Scaled);
+    }
+    return true;
+  }
+  }
+  assert(false && "unknown constraint kind");
+  return false;
+}
+
+std::string Constraint::toString() const {
+  std::ostringstream OS;
+  switch (Kind) {
+  case ConstraintKind::Eq:
+    OS << Expr << " = 0";
+    break;
+  case ConstraintKind::Ge:
+    OS << Expr << " >= 0";
+    break;
+  case ConstraintKind::Stride:
+    OS << Mod << " | " << Expr;
+    break;
+  }
+  return OS.str();
+}
+
+std::ostream &omega::operator<<(std::ostream &OS, const Constraint &C) {
+  return OS << C.toString();
+}

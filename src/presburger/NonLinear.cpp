@@ -1,0 +1,39 @@
+//===- presburger/NonLinear.cpp - Floors, ceilings, mods -----------------===//
+
+#include "presburger/NonLinear.h"
+
+using namespace omega;
+
+LoweredExpr omega::lowerFloor(const AffineExpr &E, const BigInt &C) {
+  assert(C.isPositive() && "floor divisor must be positive");
+  LoweredExpr R;
+  std::string Alpha = freshWildcard();
+  R.Expr = AffineExpr::variable(Alpha);
+  R.Side.addWildcard(Alpha);
+  AffineExpr CA = C * R.Expr;
+  // cα <= e <= cα + (c - 1).
+  R.Side.add(Constraint::le(CA, E));
+  R.Side.add(Constraint::le(E, CA + AffineExpr(C - BigInt(1))));
+  return R;
+}
+
+LoweredExpr omega::lowerCeil(const AffineExpr &E, const BigInt &C) {
+  assert(C.isPositive() && "ceil divisor must be positive");
+  LoweredExpr R;
+  std::string Beta = freshWildcard();
+  R.Expr = AffineExpr::variable(Beta);
+  R.Side.addWildcard(Beta);
+  AffineExpr CB = C * R.Expr;
+  // cβ - (c - 1) <= e <= cβ.
+  R.Side.add(Constraint::le(CB - AffineExpr(C - BigInt(1)), E));
+  R.Side.add(Constraint::le(E, CB));
+  return R;
+}
+
+LoweredExpr omega::lowerMod(const AffineExpr &E, const BigInt &C) {
+  assert(C.isPositive() && "mod divisor must be positive");
+  LoweredExpr R = lowerFloor(E, C);
+  // e mod c = e - c * floor(e/c).
+  R.Expr = E - C * R.Expr;
+  return R;
+}

@@ -1,0 +1,56 @@
+//===- presburger/Parser.h - Text syntax for formulas ----------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small concrete syntax for Presburger formulas, used throughout the
+/// tests, examples and benchmarks.  Grammar (informal):
+///
+///   formula := and-expr ( "||" and-expr )*
+///   and     := not-expr ( "&&" not-expr )*
+///   not     := "!" not | quant | "(" formula ")" | atom | TRUE | FALSE
+///   quant   := ("exists" | "forall") "(" name ("," name)* ":" formula ")"
+///   atom    := expr-list ( cmp expr-list )+      chains: 1 <= i,j <= n
+///            | INT "|" expr                      stride: 3 | n - 1
+///   cmp     := "<=" | "<" | "=" | "==" | ">=" | ">" | "!="
+///   expr    := term ( ("+"|"-") term )*
+///   term    := factor ( "*" factor | "mod" INT )*
+///   factor  := INT | NAME | "-" factor | "(" expr ")"
+///            | "floor" "(" expr "/" INT ")" | "ceil" "(" expr "/" INT ")"
+///
+/// Multiplication must have a constant operand (the language is linear);
+/// floor/ceil/mod lower per §3 of the paper via NonLinear.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_PRESBURGER_PARSER_H
+#define OMEGA_PRESBURGER_PARSER_H
+
+#include "presburger/Formula.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace omega {
+
+/// Outcome of a parse: a formula, or a diagnostic.
+struct ParseResult {
+  std::optional<Formula> Value;
+  std::string Error; ///< Non-empty iff !Value; includes character offset.
+
+  explicit operator bool() const { return Value.has_value(); }
+};
+
+/// Parses \p Text into a Formula.
+ParseResult parseFormula(std::string_view Text);
+
+/// Convenience wrapper that asserts success; for tests and examples whose
+/// formulas are literals.
+Formula parseFormulaOrDie(std::string_view Text);
+
+} // namespace omega
+
+#endif // OMEGA_PRESBURGER_PARSER_H

@@ -1,0 +1,45 @@
+//===- presburger/Var.h - Variable names and assignments -------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Variables are interned by name.  A variable plays one of three roles per
+/// query, following the paper's terminology:
+///   * counted variables (the set V of a summation (Σ V : P : x)),
+///   * symbolic constants (remaining free variables; answers are given in
+///     terms of these),
+///   * wildcards (existentially quantified clause-local auxiliaries, named
+///     "$<n>" so they can never collide with user variables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_PRESBURGER_VAR_H
+#define OMEGA_PRESBURGER_VAR_H
+
+#include "support/BigInt.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace omega {
+
+/// Deterministically ordered set of variable names.
+using VarSet = std::set<std::string>;
+
+/// A concrete integer valuation of variables.
+using Assignment = std::map<std::string, BigInt>;
+
+/// Returns a process-unique wildcard name "$<n>".
+std::string freshWildcard();
+
+/// Returns true for names produced by freshWildcard().
+inline bool isWildcardName(const std::string &Name) {
+  return !Name.empty() && Name[0] == '$';
+}
+
+} // namespace omega
+
+#endif // OMEGA_PRESBURGER_VAR_H

@@ -1,0 +1,433 @@
+//===- support/BigInt.cpp - Arbitrary-precision signed integers ----------===//
+
+#include "support/BigInt.h"
+
+#include <algorithm>
+#include <ostream>
+
+using namespace omega;
+
+static constexpr uint64_t LimbBase = uint64_t(1) << 32;
+
+BigInt::BigInt(long long V) {
+  Negative = V < 0;
+  // Avoid UB negating LLONG_MIN by widening through unsigned.
+  uint64_t Mag = Negative ? ~static_cast<uint64_t>(V) + 1
+                          : static_cast<uint64_t>(V);
+  while (Mag != 0) {
+    Limbs.push_back(static_cast<uint32_t>(Mag));
+    Mag >>= 32;
+  }
+}
+
+BigInt::BigInt(unsigned long long V) {
+  uint64_t Mag = V;
+  while (Mag != 0) {
+    Limbs.push_back(static_cast<uint32_t>(Mag));
+    Mag >>= 32;
+  }
+}
+
+BigInt::BigInt(std::string_view Decimal) {
+  [[maybe_unused]] bool OK = fromString(Decimal, *this);
+  assert(OK && "malformed decimal literal");
+}
+
+bool BigInt::fromString(std::string_view Decimal, BigInt &Out) {
+  Out = BigInt();
+  bool Neg = false;
+  size_t I = 0;
+  if (I < Decimal.size() && (Decimal[I] == '-' || Decimal[I] == '+')) {
+    Neg = Decimal[I] == '-';
+    ++I;
+  }
+  if (I == Decimal.size())
+    return false;
+  for (; I < Decimal.size(); ++I) {
+    char C = Decimal[I];
+    if (C < '0' || C > '9')
+      return false;
+    Out *= BigInt(10);
+    Out += BigInt(C - '0');
+  }
+  if (Neg)
+    Out = -Out;
+  return true;
+}
+
+bool BigInt::fitsInt64() const {
+  if (Limbs.size() > 2)
+    return false;
+  if (Limbs.size() < 2)
+    return true;
+  uint64_t Mag = (uint64_t(Limbs[1]) << 32) | Limbs[0];
+  return Negative ? Mag <= (uint64_t(1) << 63)
+                  : Mag < (uint64_t(1) << 63);
+}
+
+int64_t BigInt::toInt64() const {
+  assert(fitsInt64() && "BigInt does not fit in int64_t");
+  uint64_t Mag = 0;
+  if (Limbs.size() > 1)
+    Mag = uint64_t(Limbs[1]) << 32;
+  if (!Limbs.empty())
+    Mag |= Limbs[0];
+  return Negative ? -static_cast<int64_t>(Mag) : static_cast<int64_t>(Mag);
+}
+
+double BigInt::toDouble() const {
+  double R = 0;
+  for (size_t I = Limbs.size(); I-- > 0;)
+    R = R * 4294967296.0 + Limbs[I];
+  return Negative ? -R : R;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt R = *this;
+  if (!R.Limbs.empty())
+    R.Negative = !R.Negative;
+  return R;
+}
+
+void BigInt::trim() {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+  if (Limbs.empty())
+    Negative = false;
+}
+
+int BigInt::compareMagnitude(const std::vector<uint32_t> &A,
+                             const std::vector<uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+void BigInt::addMagnitude(std::vector<uint32_t> &A,
+                          const std::vector<uint32_t> &B) {
+  if (A.size() < B.size())
+    A.resize(B.size(), 0);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    uint64_t S = Carry + A[I] + (I < B.size() ? B[I] : 0);
+    A[I] = static_cast<uint32_t>(S);
+    Carry = S >> 32;
+  }
+  if (Carry)
+    A.push_back(static_cast<uint32_t>(Carry));
+}
+
+void BigInt::subMagnitude(std::vector<uint32_t> &A,
+                          const std::vector<uint32_t> &B) {
+  assert(compareMagnitude(A, B) >= 0 && "subMagnitude requires |A| >= |B|");
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    int64_t S = int64_t(A[I]) - Borrow - (I < B.size() ? int64_t(B[I]) : 0);
+    Borrow = 0;
+    if (S < 0) {
+      S += LimbBase;
+      Borrow = 1;
+    }
+    A[I] = static_cast<uint32_t>(S);
+  }
+  assert(Borrow == 0 && "magnitude subtraction underflow");
+}
+
+std::vector<uint32_t> BigInt::mulMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  if (A.empty() || B.empty())
+    return {};
+  std::vector<uint32_t> R(A.size() + B.size(), 0);
+  for (size_t I = 0; I < A.size(); ++I) {
+    uint64_t Carry = 0;
+    for (size_t J = 0; J < B.size(); ++J) {
+      uint64_t S = uint64_t(A[I]) * B[J] + R[I + J] + Carry;
+      R[I + J] = static_cast<uint32_t>(S);
+      Carry = S >> 32;
+    }
+    size_t K = I + B.size();
+    while (Carry) {
+      uint64_t S = R[K] + Carry;
+      R[K] = static_cast<uint32_t>(S);
+      Carry = S >> 32;
+      ++K;
+    }
+  }
+  while (!R.empty() && R.back() == 0)
+    R.pop_back();
+  return R;
+}
+
+/// Knuth algorithm D (schoolbook long division) on 32-bit limbs, with the
+/// single-limb divisor fast path.
+std::vector<uint32_t>
+BigInt::divModMagnitude(std::vector<uint32_t> &A,
+                        const std::vector<uint32_t> &B) {
+  assert(!B.empty() && "division by zero");
+  if (compareMagnitude(A, B) < 0)
+    return {};
+  if (B.size() == 1) {
+    uint64_t D = B[0];
+    std::vector<uint32_t> Q(A.size(), 0);
+    uint64_t Rem = 0;
+    for (size_t I = A.size(); I-- > 0;) {
+      uint64_t Cur = (Rem << 32) | A[I];
+      Q[I] = static_cast<uint32_t>(Cur / D);
+      Rem = Cur % D;
+    }
+    while (!Q.empty() && Q.back() == 0)
+      Q.pop_back();
+    A.clear();
+    if (Rem) {
+      A.push_back(static_cast<uint32_t>(Rem));
+      if (Rem >> 32)
+        A.push_back(static_cast<uint32_t>(Rem >> 32));
+    }
+    return Q;
+  }
+
+  // Normalize so the divisor's top limb has its high bit set.
+  int Shift = 0;
+  for (uint32_t Top = B.back(); !(Top & 0x80000000u); Top <<= 1)
+    ++Shift;
+  size_t N = B.size(), M = A.size() - N;
+  std::vector<uint32_t> U(A.size() + 1, 0), V(N, 0);
+  for (size_t I = A.size(); I-- > 0;) {
+    U[I] |= Shift ? (A[I] << Shift) : A[I];
+    if (Shift && I + 1 <= A.size())
+      U[I + 1] |= static_cast<uint32_t>(uint64_t(A[I]) >> (32 - Shift));
+  }
+  for (size_t I = N; I-- > 0;) {
+    V[I] = Shift ? (B[I] << Shift) : B[I];
+    if (Shift && I > 0)
+      V[I] |= static_cast<uint32_t>(uint64_t(B[I - 1]) >> (32 - Shift));
+  }
+
+  std::vector<uint32_t> Q(M + 1, 0);
+  for (size_t J = M + 1; J-- > 0;) {
+    uint64_t Num = (uint64_t(U[J + N]) << 32) | U[J + N - 1];
+    uint64_t QHat = Num / V[N - 1];
+    uint64_t RHat = Num % V[N - 1];
+    while (QHat >= LimbBase ||
+           QHat * V[N - 2] > ((RHat << 32) | U[J + N - 2])) {
+      --QHat;
+      RHat += V[N - 1];
+      if (RHat >= LimbBase)
+        break;
+    }
+    // Multiply-subtract QHat * V from U[J .. J+N].
+    int64_t Borrow = 0;
+    uint64_t Carry = 0;
+    for (size_t I = 0; I < N; ++I) {
+      uint64_t P = QHat * V[I] + Carry;
+      Carry = P >> 32;
+      int64_t Sub = int64_t(U[I + J]) - int64_t(uint32_t(P)) - Borrow;
+      Borrow = 0;
+      if (Sub < 0) {
+        Sub += LimbBase;
+        Borrow = 1;
+      }
+      U[I + J] = static_cast<uint32_t>(Sub);
+    }
+    int64_t Sub = int64_t(U[J + N]) - int64_t(Carry) - Borrow;
+    bool NegResult = Sub < 0;
+    U[J + N] = static_cast<uint32_t>(Sub);
+    if (NegResult) {
+      // QHat was one too large; add V back.
+      --QHat;
+      uint64_t C = 0;
+      for (size_t I = 0; I < N; ++I) {
+        uint64_t S = uint64_t(U[I + J]) + V[I] + C;
+        U[I + J] = static_cast<uint32_t>(S);
+        C = S >> 32;
+      }
+      U[J + N] = static_cast<uint32_t>(U[J + N] + C);
+    }
+    Q[J] = static_cast<uint32_t>(QHat);
+  }
+
+  // Denormalize the remainder.
+  A.assign(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    A[I] = U[I] >> Shift;
+    if (Shift && I + 1 < U.size())
+      A[I] |= static_cast<uint32_t>(uint64_t(U[I + 1]) << (32 - Shift));
+  }
+  while (!A.empty() && A.back() == 0)
+    A.pop_back();
+  while (!Q.empty() && Q.back() == 0)
+    Q.pop_back();
+  return Q;
+}
+
+BigInt &BigInt::operator+=(const BigInt &RHS) {
+  if (Negative == RHS.Negative) {
+    addMagnitude(Limbs, RHS.Limbs);
+  } else if (compareMagnitude(Limbs, RHS.Limbs) >= 0) {
+    subMagnitude(Limbs, RHS.Limbs);
+  } else {
+    std::vector<uint32_t> Tmp = RHS.Limbs;
+    subMagnitude(Tmp, Limbs);
+    Limbs = std::move(Tmp);
+    Negative = RHS.Negative;
+  }
+  trim();
+  return *this;
+}
+
+BigInt &BigInt::operator-=(const BigInt &RHS) { return *this += -RHS; }
+
+BigInt &BigInt::operator*=(const BigInt &RHS) {
+  Negative = Negative != RHS.Negative;
+  Limbs = mulMagnitude(Limbs, RHS.Limbs);
+  trim();
+  return *this;
+}
+
+BigInt &BigInt::operator/=(const BigInt &RHS) {
+  BigInt Q, R;
+  divMod(*this, RHS, Q, R);
+  return *this = std::move(Q);
+}
+
+BigInt &BigInt::operator%=(const BigInt &RHS) {
+  BigInt Q, R;
+  divMod(*this, RHS, Q, R);
+  return *this = std::move(R);
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Negative != RHS.Negative)
+    return Negative ? -1 : 1;
+  int C = compareMagnitude(Limbs, RHS.Limbs);
+  return Negative ? -C : C;
+}
+
+void BigInt::divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
+                    BigInt &Rem) {
+  assert(!Den.isZero() && "division by zero");
+  Rem = Num;
+  Quot.Limbs = divModMagnitude(Rem.Limbs, Den.Limbs);
+  Quot.Negative = Num.Negative != Den.Negative;
+  Quot.trim();
+  Rem.trim();
+  // Truncated semantics: remainder keeps the dividend's sign.
+  Rem.Negative = !Rem.Limbs.empty() && Num.Negative;
+}
+
+BigInt BigInt::floorDiv(const BigInt &Num, const BigInt &Den) {
+  BigInt Q, R;
+  divMod(Num, Den, Q, R);
+  if (!R.isZero() && (R.isNegative() != Den.isNegative()))
+    --Q;
+  return Q;
+}
+
+BigInt BigInt::ceilDiv(const BigInt &Num, const BigInt &Den) {
+  BigInt Q, R;
+  divMod(Num, Den, Q, R);
+  if (!R.isZero() && (R.isNegative() == Den.isNegative()))
+    ++Q;
+  return Q;
+}
+
+BigInt BigInt::floorMod(const BigInt &Num, const BigInt &Den) {
+  // Mathematical modulus: always in [0, |Den|).
+  BigInt D = Den.abs();
+  BigInt R = Num - floorDiv(Num, D) * D;
+  assert(R.sign() >= 0 && "floorMod result must be non-negative");
+  return R;
+}
+
+BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
+  BigInt X = A.abs(), Y = B.abs();
+  while (!Y.isZero()) {
+    BigInt R = X % Y;
+    X = std::move(Y);
+    Y = std::move(R);
+  }
+  return X;
+}
+
+BigInt BigInt::lcm(const BigInt &A, const BigInt &B) {
+  if (A.isZero() || B.isZero())
+    return BigInt(0);
+  return (A / gcd(A, B) * B).abs();
+}
+
+BigInt BigInt::extendedGcd(const BigInt &A, const BigInt &B, BigInt &X,
+                           BigInt &Y) {
+  // Iterative extended Euclid on the raw (signed) inputs.
+  BigInt OldR = A, R = B;
+  BigInt OldX = 1, CurX = 0;
+  BigInt OldY = 0, CurY = 1;
+  while (!R.isZero()) {
+    BigInt Q = OldR / R;
+    BigInt T = OldR - Q * R;
+    OldR = std::move(R);
+    R = std::move(T);
+    T = OldX - Q * CurX;
+    OldX = std::move(CurX);
+    CurX = std::move(T);
+    T = OldY - Q * CurY;
+    OldY = std::move(CurY);
+    CurY = std::move(T);
+  }
+  if (OldR.isNegative()) {
+    OldR = -OldR;
+    OldX = -OldX;
+    OldY = -OldY;
+  }
+  X = std::move(OldX);
+  Y = std::move(OldY);
+  return OldR;
+}
+
+BigInt BigInt::pow(const BigInt &A, unsigned E) {
+  BigInt R = 1, Base = A;
+  while (E) {
+    if (E & 1)
+      R *= Base;
+    E >>= 1;
+    if (E)
+      Base *= Base;
+  }
+  return R;
+}
+
+bool BigInt::divides(const BigInt &E) const {
+  if (isZero())
+    return E.isZero();
+  return (E % *this).isZero();
+}
+
+std::string BigInt::toString() const {
+  if (isZero())
+    return "0";
+  std::string Digits;
+  std::vector<uint32_t> Mag = Limbs;
+  const std::vector<uint32_t> Ten = {10};
+  while (!Mag.empty()) {
+    std::vector<uint32_t> Rem = Mag;
+    Mag = divModMagnitude(Rem, Ten);
+    Digits.push_back(static_cast<char>('0' + (Rem.empty() ? 0 : Rem[0])));
+  }
+  if (Negative)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+size_t BigInt::hash() const {
+  size_t H = Negative ? 0x9e3779b97f4a7c15ull : 0;
+  for (uint32_t L : Limbs)
+    H = H * 1000003ull + L;
+  return H;
+}
+
+std::ostream &omega::operator<<(std::ostream &OS, const BigInt &V) {
+  return OS << V.toString();
+}

@@ -1,0 +1,178 @@
+//===- support/BigInt.h - Arbitrary-precision signed integers --*- C++ -*-===//
+//
+// Part of OmegaCount, a reproduction of W. Pugh, "Counting Solutions to
+// Presburger Formulas: How and Why" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sign-magnitude arbitrary-precision integer arithmetic.
+///
+/// The Omega test grows constraint coefficients multiplicatively (Fourier
+/// pair combination multiplies coefficients; the paper's implementation used
+/// overflow-checked machine ints and simply gave up on overflow).  We
+/// substitute exact bignums so no query ever aborts; see DESIGN.md §2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SUPPORT_BIGINT_H
+#define OMEGA_SUPPORT_BIGINT_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omega {
+
+/// Arbitrary-precision signed integer.
+///
+/// Represented as a sign flag plus little-endian base-2^32 magnitude limbs
+/// with no trailing zero limbs; zero is the empty limb vector with positive
+/// sign, so every value has a unique representation and bitwise equality of
+/// the members is value equality.
+class BigInt {
+public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Implicitly converts from a machine integer.
+  BigInt(long long V);
+  BigInt(int V) : BigInt(static_cast<long long>(V)) {}
+  BigInt(long V) : BigInt(static_cast<long long>(V)) {}
+  BigInt(unsigned long long V);
+  BigInt(unsigned long V) : BigInt(static_cast<unsigned long long>(V)) {}
+  BigInt(unsigned V) : BigInt(static_cast<unsigned long long>(V)) {}
+
+  /// Parses a decimal string with optional leading '-'.  Asserts on
+  /// malformed input; use fromString for fallible parsing.
+  explicit BigInt(std::string_view Decimal);
+
+  /// Parses a decimal string, returning false on malformed input.
+  static bool fromString(std::string_view Decimal, BigInt &Out);
+
+  bool isZero() const { return Limbs.empty(); }
+  bool isNegative() const { return Negative; }
+  bool isPositive() const { return !Negative && !Limbs.empty(); }
+  bool isOne() const { return !Negative && Limbs.size() == 1 && Limbs[0] == 1; }
+  bool isMinusOne() const {
+    return Negative && Limbs.size() == 1 && Limbs[0] == 1;
+  }
+
+  /// Returns -1, 0, or +1 according to the sign.
+  int sign() const { return isZero() ? 0 : (Negative ? -1 : 1); }
+
+  /// Returns true iff the value fits in int64_t.
+  bool fitsInt64() const;
+
+  /// Converts to int64_t; asserts the value fits.
+  int64_t toInt64() const;
+
+  /// Converts to double (approximately, for diagnostics/heuristics only).
+  double toDouble() const;
+
+  BigInt operator-() const;
+  BigInt abs() const { return Negative ? -*this : *this; }
+
+  BigInt &operator+=(const BigInt &RHS);
+  BigInt &operator-=(const BigInt &RHS);
+  BigInt &operator*=(const BigInt &RHS);
+  /// Truncated division (C semantics: rounds toward zero).
+  BigInt &operator/=(const BigInt &RHS);
+  /// Truncated remainder (sign follows the dividend).
+  BigInt &operator%=(const BigInt &RHS);
+
+  friend BigInt operator+(BigInt L, const BigInt &R) { return L += R; }
+  friend BigInt operator-(BigInt L, const BigInt &R) { return L -= R; }
+  friend BigInt operator*(BigInt L, const BigInt &R) { return L *= R; }
+  friend BigInt operator/(BigInt L, const BigInt &R) { return L /= R; }
+  friend BigInt operator%(BigInt L, const BigInt &R) { return L %= R; }
+
+  BigInt &operator++() { return *this += BigInt(1); }
+  BigInt &operator--() { return *this -= BigInt(1); }
+
+  friend bool operator==(const BigInt &L, const BigInt &R) {
+    return L.Negative == R.Negative && L.Limbs == R.Limbs;
+  }
+  friend bool operator!=(const BigInt &L, const BigInt &R) {
+    return !(L == R);
+  }
+  friend bool operator<(const BigInt &L, const BigInt &R) {
+    return L.compare(R) < 0;
+  }
+  friend bool operator>(const BigInt &L, const BigInt &R) {
+    return L.compare(R) > 0;
+  }
+  friend bool operator<=(const BigInt &L, const BigInt &R) {
+    return L.compare(R) <= 0;
+  }
+  friend bool operator>=(const BigInt &L, const BigInt &R) {
+    return L.compare(R) >= 0;
+  }
+
+  /// Three-way comparison: negative, zero, or positive.
+  int compare(const BigInt &RHS) const;
+
+  /// Simultaneous truncated quotient and remainder.
+  static void divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
+                     BigInt &Rem);
+
+  /// Floor division: rounds toward negative infinity.
+  static BigInt floorDiv(const BigInt &Num, const BigInt &Den);
+  /// Ceiling division: rounds toward positive infinity.
+  static BigInt ceilDiv(const BigInt &Num, const BigInt &Den);
+  /// Mathematical modulus: result in [0, |Den|).
+  static BigInt floorMod(const BigInt &Num, const BigInt &Den);
+
+  /// Greatest common divisor (always non-negative; gcd(0,0) == 0).
+  static BigInt gcd(const BigInt &A, const BigInt &B);
+  /// Least common multiple (always non-negative).
+  static BigInt lcm(const BigInt &A, const BigInt &B);
+  /// Extended gcd: returns g = gcd(A,B) and sets X, Y with A*X + B*Y == g.
+  static BigInt extendedGcd(const BigInt &A, const BigInt &B, BigInt &X,
+                            BigInt &Y);
+  /// Returns A^E for E >= 0.
+  static BigInt pow(const BigInt &A, unsigned E);
+
+  /// Returns true iff this value evenly divides \p E (0 divides only 0).
+  bool divides(const BigInt &E) const;
+
+  std::string toString() const;
+
+  /// Hash suitable for unordered containers.
+  size_t hash() const;
+
+  friend std::ostream &operator<<(std::ostream &OS, const BigInt &V);
+
+private:
+  /// Magnitude comparison ignoring sign: -1, 0, +1.
+  static int compareMagnitude(const std::vector<uint32_t> &A,
+                              const std::vector<uint32_t> &B);
+  static void addMagnitude(std::vector<uint32_t> &A,
+                           const std::vector<uint32_t> &B);
+  /// Requires |A| >= |B|; computes A -= B on magnitudes.
+  static void subMagnitude(std::vector<uint32_t> &A,
+                           const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> mulMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  /// Magnitude division; returns quotient, leaves remainder in A.
+  static std::vector<uint32_t> divModMagnitude(std::vector<uint32_t> &A,
+                                               const std::vector<uint32_t> &B);
+  void trim();
+
+  bool Negative = false;
+  std::vector<uint32_t> Limbs;
+};
+
+std::ostream &operator<<(std::ostream &OS, const BigInt &V);
+
+} // namespace omega
+
+template <> struct std::hash<omega::BigInt> {
+  size_t operator()(const omega::BigInt &V) const { return V.hash(); }
+};
+
+#endif // OMEGA_SUPPORT_BIGINT_H

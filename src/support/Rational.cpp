@@ -1,0 +1,83 @@
+//===- support/Rational.cpp - Exact rational numbers ---------------------===//
+
+#include "support/Rational.h"
+
+#include <ostream>
+
+using namespace omega;
+
+Rational::Rational(BigInt Numerator, BigInt Denominator)
+    : Num(std::move(Numerator)), Den(std::move(Denominator)) {
+  assert(!Den.isZero() && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den.isNegative()) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num.isZero()) {
+    Den = BigInt(1);
+    return;
+  }
+  BigInt G = BigInt::gcd(Num, Den);
+  if (!G.isOne()) {
+    Num /= G;
+    Den /= G;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational R = *this;
+  R.Num = -R.Num;
+  return R;
+}
+
+Rational &Rational::operator+=(const Rational &RHS) {
+  Num = Num * RHS.Den + RHS.Num * Den;
+  Den *= RHS.Den;
+  normalize();
+  return *this;
+}
+
+Rational &Rational::operator-=(const Rational &RHS) {
+  Num = Num * RHS.Den - RHS.Num * Den;
+  Den *= RHS.Den;
+  normalize();
+  return *this;
+}
+
+Rational &Rational::operator*=(const Rational &RHS) {
+  Num *= RHS.Num;
+  Den *= RHS.Den;
+  normalize();
+  return *this;
+}
+
+Rational &Rational::operator/=(const Rational &RHS) {
+  assert(!RHS.isZero() && "rational division by zero");
+  Num *= RHS.Den;
+  Den *= RHS.Num;
+  normalize();
+  return *this;
+}
+
+int Rational::compare(const Rational &RHS) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return (Num * RHS.Den).compare(RHS.Num * Den);
+}
+
+Rational Rational::pow(const Rational &A, unsigned E) {
+  return Rational(BigInt::pow(A.Num, E), BigInt::pow(A.Den, E));
+}
+
+std::string Rational::toString() const {
+  if (isInteger())
+    return Num.toString();
+  return Num.toString() + "/" + Den.toString();
+}
+
+std::ostream &omega::operator<<(std::ostream &OS, const Rational &V) {
+  return OS << V.toString();
+}

@@ -1,0 +1,109 @@
+//===- support/Rational.h - Exact rational numbers -------------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rationals on top of BigInt.  Quasi-polynomial coefficients (the
+/// counting results of §4 of the paper, e.g. n(n+1)/2) are rational even
+/// though every evaluation at integer points is integral.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SUPPORT_RATIONAL_H
+#define OMEGA_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace omega {
+
+/// Exact rational number, always normalized: the denominator is positive and
+/// gcd(numerator, denominator) == 1; zero is 0/1.
+class Rational {
+public:
+  Rational() : Den(1) {}
+  Rational(BigInt Value) : Num(std::move(Value)), Den(1) {}
+  Rational(long long Value) : Num(Value), Den(1) {}
+  Rational(int Value) : Num(Value), Den(1) {}
+  Rational(BigInt Numerator, BigInt Denominator);
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isInteger() const { return Den.isOne(); }
+  int sign() const { return Num.sign(); }
+
+  /// Returns the value as a BigInt; asserts isInteger().
+  const BigInt &asInteger() const {
+    assert(isInteger() && "rational is not an integer");
+    return Num;
+  }
+
+  BigInt floor() const { return BigInt::floorDiv(Num, Den); }
+  BigInt ceil() const { return BigInt::ceilDiv(Num, Den); }
+
+  Rational operator-() const;
+  Rational &operator+=(const Rational &RHS);
+  Rational &operator-=(const Rational &RHS);
+  Rational &operator*=(const Rational &RHS);
+  /// Asserts RHS is nonzero.
+  Rational &operator/=(const Rational &RHS);
+
+  friend Rational operator+(Rational L, const Rational &R) { return L += R; }
+  friend Rational operator-(Rational L, const Rational &R) { return L -= R; }
+  friend Rational operator*(Rational L, const Rational &R) { return L *= R; }
+  friend Rational operator/(Rational L, const Rational &R) { return L /= R; }
+
+  friend bool operator==(const Rational &L, const Rational &R) {
+    return L.Num == R.Num && L.Den == R.Den;
+  }
+  friend bool operator!=(const Rational &L, const Rational &R) {
+    return !(L == R);
+  }
+  friend bool operator<(const Rational &L, const Rational &R) {
+    return L.compare(R) < 0;
+  }
+  friend bool operator>(const Rational &L, const Rational &R) {
+    return L.compare(R) > 0;
+  }
+  friend bool operator<=(const Rational &L, const Rational &R) {
+    return L.compare(R) <= 0;
+  }
+  friend bool operator>=(const Rational &L, const Rational &R) {
+    return L.compare(R) >= 0;
+  }
+
+  int compare(const Rational &RHS) const;
+
+  static Rational pow(const Rational &A, unsigned E);
+
+  double toDouble() const { return Num.toDouble() / Den.toDouble(); }
+
+  /// Renders as "a" or "a/b".
+  std::string toString() const;
+
+  size_t hash() const { return Num.hash() * 33 + Den.hash(); }
+
+  friend std::ostream &operator<<(std::ostream &OS, const Rational &V);
+
+private:
+  void normalize();
+
+  BigInt Num;
+  BigInt Den;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Rational &V);
+
+} // namespace omega
+
+template <> struct std::hash<omega::Rational> {
+  size_t operator()(const omega::Rational &V) const { return V.hash(); }
+};
+
+#endif // OMEGA_SUPPORT_RATIONAL_H

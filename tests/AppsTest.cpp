@@ -1,0 +1,326 @@
+//===- tests/AppsTest.cpp - Loop nests, memory model, scheduling, HPF ----===//
+
+#include "apps/HpfDistribution.h"
+#include "apps/LoopNest.h"
+#include "apps/MemoryModel.h"
+#include "apps/Scheduling.h"
+#include "apps/UniformlyGenerated.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+
+namespace {
+
+AffineExpr var(const char *N) { return AffineExpr::variable(N); }
+Rational rat(long long N, long long D = 1) {
+  return Rational(BigInt(N), BigInt(D));
+}
+
+TEST(LoopNestTest, RectangularIterationCount) {
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(1), var("n"));
+  Nest.add("j", AffineExpr(1), var("m"));
+  PiecewiseValue V = Nest.iterationCount();
+  for (int64_t N = 0; N <= 5; ++N)
+    for (int64_t M = 0; M <= 5; ++M)
+      EXPECT_EQ(V.evaluate({{"n", BigInt(N)}, {"m", BigInt(M)}}),
+                rat(N * M));
+}
+
+TEST(LoopNestTest, TriangularWithGuard) {
+  // Example 6's space: 1 <= i, 1 <= j <= n, 2i <= 3j (the guard is what
+  // actually bounds i; the loose loop bound 3n never binds).
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(1), BigInt(3) * var("n"));
+  Nest.add("j", AffineExpr(1), var("n"));
+  Nest.guard(Constraint::ge(BigInt(3) * var("j") - BigInt(2) * var("i")));
+  PiecewiseValue V = Nest.iterationCount();
+  for (int64_t N = 0; N <= 10; ++N) {
+    int64_t Expected = N >= 1 ? (3 * N * N + 2 * N - (N % 2)) / 4 : 0;
+    EXPECT_EQ(V.evaluate({{"n", BigInt(N)}}), rat(Expected)) << N;
+  }
+}
+
+TEST(LoopNestTest, SteppedLoop) {
+  // for i = 1 to n step 3.
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(1), var("n"), BigInt(3));
+  PiecewiseValue V = Nest.iterationCount();
+  for (int64_t N = 0; N <= 14; ++N) {
+    int64_t Expected = N >= 1 ? (N - 1) / 3 + 1 : 0;
+    EXPECT_EQ(V.evaluate({{"n", BigInt(N)}}), rat(Expected)) << N;
+  }
+}
+
+TEST(LoopNestTest, MinMaxBounds) {
+  // for i = 1 to min(n, m).
+  Loop L;
+  L.Var = "i";
+  L.Lowers.push_back(AffineExpr(1));
+  L.Uppers.push_back(var("n"));
+  L.Uppers.push_back(var("m"));
+  LoopNest Nest;
+  Nest.add(L);
+  PiecewiseValue V = Nest.iterationCount();
+  for (int64_t N = 0; N <= 5; ++N)
+    for (int64_t M = 0; M <= 5; ++M)
+      EXPECT_EQ(V.evaluate({{"n", BigInt(N)}, {"m", BigInt(M)}}),
+                rat(std::max<int64_t>(0, std::min(N, M))));
+}
+
+TEST(LoopNestTest, FlopCount) {
+  // Inner work = i flops at outer iteration i: total n(n+1)/2.
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(1), var("n"));
+  PiecewiseValue V = Nest.flopCount(QuasiPolynomial::variable("i"));
+  for (int64_t N = 0; N <= 8; ++N)
+    EXPECT_EQ(V.evaluate({{"n", BigInt(N)}}),
+              rat(std::max<int64_t>(0, N * (N + 1) / 2)));
+}
+
+TEST(MemoryModelTest, FSTExample4) {
+  // §6 Example 4: a(6i + 9j - 7) over i in 1..8, j in 1..5 touches 25
+  // distinct locations.
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(1), AffineExpr(8));
+  Nest.add("j", AffineExpr(1), AffineExpr(5));
+  ArrayRef R{"a", {BigInt(6) * var("i") + BigInt(9) * var("j") -
+                   AffineExpr(7)}};
+  PiecewiseValue V = countDistinctLocations(Nest, {R}, "a");
+  EXPECT_EQ(V.evaluateInt({}).toInt64(), 25);
+}
+
+TEST(MemoryModelTest, OverlappingRefsCountedOnce) {
+  // a[i] and a[i+1] over i = 1..n touch n+1 cells (not 2n).
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(1), var("n"));
+  std::vector<ArrayRef> Refs{{"a", {var("i")}},
+                             {"a", {var("i") + AffineExpr(1)}}};
+  PiecewiseValue V = countDistinctLocations(Nest, Refs, "a");
+  for (int64_t N = 1; N <= 8; ++N)
+    EXPECT_EQ(V.evaluate({{"n", BigInt(N)}}), rat(N + 1)) << N;
+}
+
+TEST(MemoryModelTest, SORDistinctLocationsSymbolic) {
+  // §6 Example 5 / Figure 2: the SOR stencil touches N² - 4 cells;
+  // 249996 at N = 500.
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(2), var("N") - AffineExpr(1));
+  Nest.add("j", AffineExpr(2), var("N") - AffineExpr(1));
+  std::vector<ArrayRef> Refs{
+      {"a", {var("i"), var("j")}},
+      {"a", {var("i") - AffineExpr(1), var("j")}},
+      {"a", {var("i") + AffineExpr(1), var("j")}},
+      {"a", {var("i"), var("j") - AffineExpr(1)}},
+      {"a", {var("i"), var("j") + AffineExpr(1)}}};
+  PiecewiseValue V = countDistinctLocations(Nest, Refs, "a");
+  for (int64_t N = 3; N <= 12; ++N)
+    EXPECT_EQ(V.evaluate({{"N", BigInt(N)}}), rat(N * N - 4)) << N;
+  EXPECT_EQ(V.evaluateInt({{"N", BigInt(500)}}).toInt64(), 249996);
+}
+
+TEST(MemoryModelTest, SORCacheLines500) {
+  // Figure 2's cache-line count: 16000 lines at N = 500 with 16-element
+  // lines mapped as [(i-1) div 16, j].
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(2), var("N") - AffineExpr(1));
+  Nest.add("j", AffineExpr(2), var("N") - AffineExpr(1));
+  std::vector<ArrayRef> Refs{
+      {"a", {var("i"), var("j")}},
+      {"a", {var("i") - AffineExpr(1), var("j")}},
+      {"a", {var("i") + AffineExpr(1), var("j")}},
+      {"a", {var("i"), var("j") - AffineExpr(1)}},
+      {"a", {var("i"), var("j") + AffineExpr(1)}}};
+  CacheMapping Map;
+  PiecewiseValue V = countDistinctCacheLines(Nest, Refs, "a", Map);
+  EXPECT_EQ(V.evaluateInt({{"N", BigInt(500)}}).toInt64(), 16000);
+  // Brute-force cross-check for small N: lines {(floor((i-1)/16), j)}
+  // over touched cells.
+  for (int64_t N = 3; N <= 24; N += 7) {
+    std::set<std::pair<int64_t, int64_t>> Lines;
+    for (int64_t I = 2; I <= N - 1; ++I)
+      for (int64_t J = 2; J <= N - 1; ++J) {
+        auto Touch = [&](int64_t X, int64_t Y) {
+          int64_t Shift = X - 1;
+          int64_t Line = Shift >= 0 ? Shift / 16 : (Shift - 15) / 16;
+          Lines.insert({Line, Y});
+        };
+        Touch(I, J);
+        Touch(I - 1, J);
+        Touch(I + 1, J);
+        Touch(I, J - 1);
+        Touch(I, J + 1);
+      }
+    EXPECT_EQ(V.evaluate({{"N", BigInt(N)}}), rat(Lines.size())) << N;
+  }
+}
+
+TEST(UniformlyGeneratedTest, ZeroOneEncoding) {
+  // 5-point stencil via the 0-1 method: exactly 5 delta points.
+  std::vector<Offset> Stencil{{BigInt(0), BigInt(0)},
+                              {BigInt(-1), BigInt(0)},
+                              {BigInt(1), BigInt(0)},
+                              {BigInt(0), BigInt(-1)},
+                              {BigInt(0), BigInt(1)}};
+  Formula F = offsetsZeroOneFormula(Stencil, {"dx", "dy"});
+  EXPECT_EQ(countConcrete(F, {"dx", "dy"}).toInt64(), 5);
+  // Membership is exactly the stencil.
+  std::vector<Conjunct> D = simplify(F);
+  for (int64_t X = -2; X <= 2; ++X)
+    for (int64_t Y = -2; Y <= 2; ++Y) {
+      bool Expected = false;
+      for (const Offset &P : Stencil)
+        Expected |= P[0] == BigInt(X) && P[1] == BigInt(Y);
+      bool Got = false;
+      for (const Conjunct &C : D)
+        Got |= containsPoint(C, {{"dx", BigInt(X)}, {"dy", BigInt(Y)}});
+      EXPECT_EQ(Got, Expected) << X << "," << Y;
+    }
+}
+
+TEST(UniformlyGeneratedTest, HullSummaries) {
+  std::vector<std::string> Vars{"dx", "dy"};
+  // 5-point stencil: hull is the diamond |dx| + |dy| <= 1 — exact.
+  std::vector<Offset> Five{{BigInt(0), BigInt(0)},
+                           {BigInt(-1), BigInt(0)},
+                           {BigInt(1), BigInt(0)},
+                           {BigInt(0), BigInt(-1)},
+                           {BigInt(0), BigInt(1)}};
+  auto S5 = summarizeOffsetsHull(Five, Vars);
+  ASSERT_TRUE(S5.has_value());
+  EXPECT_TRUE(S5->Exact);
+  EXPECT_EQ(S5->PointCount.toInt64(), 5);
+
+  // 4-point stencil (no center): diamond plus the stride dx+dy odd — the
+  // paper says the Omega test can summarize it with strides.
+  std::vector<Offset> Four{{BigInt(-1), BigInt(0)},
+                           {BigInt(1), BigInt(0)},
+                           {BigInt(0), BigInt(-1)},
+                           {BigInt(0), BigInt(1)}};
+  auto S4 = summarizeOffsetsHull(Four, Vars);
+  ASSERT_TRUE(S4.has_value());
+  EXPECT_TRUE(S4->Exact);
+  EXPECT_EQ(S4->PointCount.toInt64(), 4);
+
+  // 9-point stencil: the full 3x3 box — exact.
+  std::vector<Offset> Nine;
+  for (int64_t X = -1; X <= 1; ++X)
+    for (int64_t Y = -1; Y <= 1; ++Y)
+      Nine.push_back({BigInt(X), BigInt(Y)});
+  auto S9 = summarizeOffsetsHull(Nine, Vars);
+  ASSERT_TRUE(S9.has_value());
+  EXPECT_TRUE(S9->Exact);
+  EXPECT_EQ(S9->PointCount.toInt64(), 9);
+
+  // A non-convex-summarizable set: corners of a 2x2 box plus center of a
+  // far edge — hull picks up extra points, Exact must be false.
+  std::vector<Offset> Odd{{BigInt(0), BigInt(0)},
+                          {BigInt(4), BigInt(0)},
+                          {BigInt(2), BigInt(2)},
+                          {BigInt(1), BigInt(0)}};
+  auto SOdd = summarizeOffsetsHull(Odd, Vars);
+  ASSERT_TRUE(SOdd.has_value());
+  EXPECT_FALSE(SOdd->Exact);
+  EXPECT_GT(SOdd->PointCount.toInt64(), 4);
+}
+
+TEST(UniformlyGeneratedTest, OneDimensional) {
+  std::vector<Offset> Offs{{BigInt(0)}, {BigInt(3)}, {BigInt(6)}};
+  auto S = summarizeOffsetsHull(Offs, {"d"});
+  ASSERT_TRUE(S.has_value());
+  EXPECT_TRUE(S->Exact); // 0..6 with stride 3.
+  EXPECT_EQ(S->PointCount.toInt64(), 3);
+  std::vector<Offset> Gap{{BigInt(0)}, {BigInt(1)}, {BigInt(5)}};
+  auto G = summarizeOffsetsHull(Gap, {"d"});
+  ASSERT_TRUE(G.has_value());
+  EXPECT_FALSE(G->Exact); // 0..5 has 6 points.
+}
+
+TEST(SchedulingTest, TriangularNotBalancedRectangularIs) {
+  LoopNest Tri;
+  Tri.add("i", AffineExpr(1), var("n"));
+  Tri.add("j", AffineExpr(1), var("i"));
+  QuasiPolynomial One(Rational(1));
+  Assignment Sym{{"n", BigInt(10)}};
+  EXPECT_FALSE(isLoadBalanced(Tri, "i", One, Sym, BigInt(1), BigInt(10)));
+
+  LoopNest Rect;
+  Rect.add("i", AffineExpr(1), var("n"));
+  Rect.add("j", AffineExpr(1), var("n"));
+  EXPECT_TRUE(isLoadBalanced(Rect, "i", One, Sym, BigInt(1), BigInt(10)));
+}
+
+TEST(SchedulingTest, PerIterationWorkSymbolic) {
+  // Triangular loop: iteration i does i units of work.
+  LoopNest Tri;
+  Tri.add("i", AffineExpr(1), var("n"));
+  Tri.add("j", AffineExpr(1), var("i"));
+  PiecewiseValue W = perIterationWork(Tri, "i", QuasiPolynomial(rat(1)));
+  for (int64_t I = 1; I <= 10; ++I)
+    EXPECT_EQ(W.evaluate({{"n", BigInt(10)}, {"i", BigInt(I)}}), rat(I))
+        << I;
+}
+
+TEST(SchedulingTest, BalancedChunksEqualizeFlops) {
+  // Triangular loop over n = 20, 4 processors; total = 210 flops.
+  LoopNest Tri;
+  Tri.add("i", AffineExpr(1), var("n"));
+  Tri.add("j", AffineExpr(1), var("i"));
+  Assignment Sym{{"n", BigInt(20)}};
+  std::vector<Chunk> Chunks = balancedChunks(Tri, "i",
+                                             QuasiPolynomial(rat(1)), Sym,
+                                             BigInt(1), BigInt(20), 4);
+  ASSERT_EQ(Chunks.size(), 4u);
+  BigInt Total(0);
+  BigInt Cursor(1);
+  for (const Chunk &C : Chunks) {
+    EXPECT_EQ(C.Begin, Cursor);
+    Cursor = C.End + BigInt(1);
+    Total += C.Flops;
+    // Every chunk within ~max-iteration-weight of the ideal 52.5.
+    EXPECT_GE(C.Flops.toInt64(), 33);  // 52.5 - 20 floor.
+    EXPECT_LE(C.Flops.toInt64(), 73);  // 52.5 + 20 ceil.
+  }
+  EXPECT_EQ(Cursor, BigInt(21));
+  EXPECT_EQ(Total.toInt64(), 210);
+  // Naive equal-iteration chunking gives processor 3 work 15+...+20 = 105;
+  // balanced chunking must beat that imbalance.
+  int64_t MaxFlops = 0;
+  for (const Chunk &C : Chunks)
+    MaxFlops = std::max(MaxFlops, C.Flops.toInt64());
+  EXPECT_LT(MaxFlops, 105);
+}
+
+TEST(HpfTest, CellsPerProcessorPaperExample) {
+  // §3.3: T(0:1024)... the paper's block-cyclic(4) over 8 processors.
+  // With extent 1024 every processor owns exactly 128 cells.
+  BlockCyclic Dist{BigInt(4), BigInt(8), BigInt(1024)};
+  PiecewiseValue V = cellsPerProcessor(Dist);
+  for (int64_t P = 0; P <= 7; ++P)
+    EXPECT_EQ(V.evaluate({{"p", BigInt(P)}}), rat(128)) << P;
+  // Uneven extent 1025: processor 0 gets one extra cell.
+  BlockCyclic Dist2{BigInt(4), BigInt(8), BigInt(1025)};
+  PiecewiseValue V2 = cellsPerProcessor(Dist2);
+  EXPECT_EQ(V2.evaluate({{"p", BigInt(0)}}), rat(129));
+  for (int64_t P = 1; P <= 7; ++P)
+    EXPECT_EQ(V2.evaluate({{"p", BigInt(P)}}), rat(128)) << P;
+}
+
+TEST(HpfTest, ShiftCommunicationVolume) {
+  // Block-cyclic(4) over 4 procs, extent 64, shift by 1: each processor
+  // receives one element per owned block boundary.
+  BlockCyclic Dist{BigInt(4), BigInt(4), BigInt(64)};
+  PiecewiseValue V = shiftCommVolume(Dist, BigInt(1));
+  // Brute-force ground truth.
+  auto Owner = [&](int64_t T) { return (T / 4) % 4; };
+  for (int64_t P = 0; P <= 3; ++P) {
+    int64_t Expected = 0;
+    for (int64_t T = 0; T < 64; ++T)
+      if (Owner(T) == P && T + 1 < 64 && Owner(T + 1) != P)
+        ++Expected;
+    EXPECT_EQ(V.evaluate({{"p", BigInt(P)}}), rat(Expected)) << P;
+  }
+}
+
+} // namespace

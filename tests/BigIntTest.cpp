@@ -1,0 +1,237 @@
+//===- tests/BigIntTest.cpp - BigInt unit & property tests ---------------===//
+
+#include "support/BigInt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+using omega::BigInt;
+
+namespace {
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt Z;
+  EXPECT_TRUE(Z.isZero());
+  EXPECT_FALSE(Z.isNegative());
+  EXPECT_EQ(Z.sign(), 0);
+  EXPECT_EQ(Z.toString(), "0");
+  EXPECT_EQ(Z, BigInt(0));
+  EXPECT_EQ(-Z, Z);
+}
+
+TEST(BigIntTest, ConstructFromMachineInts) {
+  EXPECT_EQ(BigInt(42).toInt64(), 42);
+  EXPECT_EQ(BigInt(-42).toInt64(), -42);
+  EXPECT_EQ(BigInt(INT64_MAX).toInt64(), INT64_MAX);
+  EXPECT_EQ(BigInt(INT64_MIN).toInt64(), INT64_MIN);
+  EXPECT_EQ(BigInt(0u).toString(), "0");
+  EXPECT_EQ(BigInt(UINT64_MAX).toString(), "18446744073709551615");
+}
+
+TEST(BigIntTest, FitsInt64Boundaries) {
+  EXPECT_TRUE(BigInt(INT64_MAX).fitsInt64());
+  EXPECT_TRUE(BigInt(INT64_MIN).fitsInt64());
+  EXPECT_FALSE((BigInt(INT64_MAX) + BigInt(1)).fitsInt64());
+  EXPECT_FALSE((BigInt(INT64_MIN) - BigInt(1)).fitsInt64());
+  // INT64_MIN magnitude is exactly 2^63, which fits only when negative.
+  BigInt TwoTo63 = BigInt::pow(BigInt(2), 63);
+  EXPECT_FALSE(TwoTo63.fitsInt64());
+  EXPECT_TRUE((-TwoTo63).fitsInt64());
+  EXPECT_EQ((-TwoTo63).toInt64(), INT64_MIN);
+}
+
+TEST(BigIntTest, StringRoundTrip) {
+  const char *Cases[] = {"0",
+                         "1",
+                         "-1",
+                         "123456789",
+                         "-987654321",
+                         "340282366920938463463374607431768211455",
+                         "-170141183460469231731687303715884105728"};
+  for (const char *S : Cases) {
+    BigInt V(S);
+    EXPECT_EQ(V.toString(), S);
+  }
+}
+
+TEST(BigIntTest, FromStringRejectsMalformed) {
+  BigInt V;
+  EXPECT_FALSE(BigInt::fromString("", V));
+  EXPECT_FALSE(BigInt::fromString("-", V));
+  EXPECT_FALSE(BigInt::fromString("12a", V));
+  EXPECT_FALSE(BigInt::fromString(" 12", V));
+  EXPECT_TRUE(BigInt::fromString("+17", V));
+  EXPECT_EQ(V.toInt64(), 17);
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt A("4294967295"); // 2^32 - 1
+  EXPECT_EQ((A + BigInt(1)).toString(), "4294967296");
+  BigInt B("18446744073709551615"); // 2^64 - 1
+  EXPECT_EQ((B + BigInt(1)).toString(), "18446744073709551616");
+  EXPECT_EQ((B + B).toString(), "36893488147419103230");
+}
+
+TEST(BigIntTest, SubtractionSignHandling) {
+  EXPECT_EQ((BigInt(5) - BigInt(7)).toInt64(), -2);
+  EXPECT_EQ((BigInt(-5) - BigInt(-7)).toInt64(), 2);
+  EXPECT_EQ((BigInt(-5) - BigInt(7)).toInt64(), -12);
+  BigInt B("18446744073709551616");
+  EXPECT_EQ((B - BigInt(1)).toString(), "18446744073709551615");
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  BigInt A("123456789012345678901234567890");
+  BigInt B("987654321098765432109876543210");
+  EXPECT_EQ((A * B).toString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+  EXPECT_EQ((A * BigInt(0)).toString(), "0");
+  EXPECT_EQ((A * BigInt(-1)), -A);
+}
+
+TEST(BigIntTest, TruncatedDivisionSemantics) {
+  // C-style: quotient rounds toward zero, remainder follows dividend.
+  EXPECT_EQ((BigInt(7) / BigInt(2)).toInt64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).toInt64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).toInt64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).toInt64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).toInt64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).toInt64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).toInt64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(-2)).toInt64(), -1);
+}
+
+TEST(BigIntTest, FloorAndCeilDivision) {
+  EXPECT_EQ(BigInt::floorDiv(7, 2).toInt64(), 3);
+  EXPECT_EQ(BigInt::floorDiv(-7, 2).toInt64(), -4);
+  EXPECT_EQ(BigInt::floorDiv(7, -2).toInt64(), -4);
+  EXPECT_EQ(BigInt::floorDiv(-7, -2).toInt64(), 3);
+  EXPECT_EQ(BigInt::ceilDiv(7, 2).toInt64(), 4);
+  EXPECT_EQ(BigInt::ceilDiv(-7, 2).toInt64(), -3);
+  EXPECT_EQ(BigInt::ceilDiv(7, -2).toInt64(), -3);
+  EXPECT_EQ(BigInt::ceilDiv(-7, -2).toInt64(), 4);
+  EXPECT_EQ(BigInt::floorMod(-7, 3).toInt64(), 2);
+  EXPECT_EQ(BigInt::floorMod(7, 3).toInt64(), 1);
+  EXPECT_EQ(BigInt::floorMod(-7, -3).toInt64(), 2);
+}
+
+TEST(BigIntTest, MultiLimbDivision) {
+  BigInt A("121932631137021795226185032733622923332237463801111263526900");
+  BigInt B("987654321098765432109876543210");
+  EXPECT_EQ((A / B).toString(), "123456789012345678901234567890");
+  EXPECT_EQ((A % B).toString(), "0");
+  BigInt C = A + BigInt(12345);
+  EXPECT_EQ((C / B).toString(), "123456789012345678901234567890");
+  EXPECT_EQ((C % B).toString(), "12345");
+}
+
+TEST(BigIntTest, GcdLcm) {
+  EXPECT_EQ(BigInt::gcd(12, 18).toInt64(), 6);
+  EXPECT_EQ(BigInt::gcd(-12, 18).toInt64(), 6);
+  EXPECT_EQ(BigInt::gcd(0, 5).toInt64(), 5);
+  EXPECT_EQ(BigInt::gcd(0, 0).toInt64(), 0);
+  EXPECT_EQ(BigInt::lcm(4, 6).toInt64(), 12);
+  EXPECT_EQ(BigInt::lcm(-4, 6).toInt64(), 12);
+  EXPECT_EQ(BigInt::lcm(0, 6).toInt64(), 0);
+}
+
+TEST(BigIntTest, ExtendedGcdBezout) {
+  std::mt19937_64 Rng(7);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    BigInt A(int64_t(Rng() % 2000) - 1000);
+    BigInt B(int64_t(Rng() % 2000) - 1000);
+    BigInt X, Y;
+    BigInt G = BigInt::extendedGcd(A, B, X, Y);
+    EXPECT_EQ(G, BigInt::gcd(A, B));
+    EXPECT_EQ(A * X + B * Y, G);
+  }
+}
+
+TEST(BigIntTest, Pow) {
+  EXPECT_EQ(BigInt::pow(2, 0).toInt64(), 1);
+  EXPECT_EQ(BigInt::pow(2, 10).toInt64(), 1024);
+  EXPECT_EQ(BigInt::pow(-3, 3).toInt64(), -27);
+  EXPECT_EQ(BigInt::pow(10, 30).toString(), "1000000000000000000000000000000");
+}
+
+TEST(BigIntTest, Divides) {
+  EXPECT_TRUE(BigInt(3).divides(9));
+  EXPECT_TRUE(BigInt(3).divides(-9));
+  EXPECT_TRUE(BigInt(-3).divides(9));
+  EXPECT_FALSE(BigInt(3).divides(10));
+  EXPECT_TRUE(BigInt(0).divides(0));
+  EXPECT_FALSE(BigInt(0).divides(1));
+  EXPECT_TRUE(BigInt(1).divides(0));
+}
+
+TEST(BigIntTest, Ordering) {
+  EXPECT_LT(BigInt(-2), BigInt(1));
+  EXPECT_LT(BigInt(-5), BigInt(-2));
+  EXPECT_GT(BigInt("100000000000000000000"), BigInt("99999999999999999999"));
+  EXPECT_LE(BigInt(3), BigInt(3));
+  EXPECT_GE(BigInt(3), BigInt(3));
+}
+
+/// Randomized agreement with int64 arithmetic within safe ranges.
+TEST(BigIntTest, RandomAgreementWithInt64) {
+  std::mt19937_64 Rng(42);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    int64_t A = int64_t(Rng() % 2000001) - 1000000;
+    int64_t B = int64_t(Rng() % 2000001) - 1000000;
+    BigInt BA(A), BB(B);
+    EXPECT_EQ((BA + BB).toInt64(), A + B);
+    EXPECT_EQ((BA - BB).toInt64(), A - B);
+    EXPECT_EQ((BA * BB).toInt64(), A * B);
+    if (B != 0) {
+      EXPECT_EQ((BA / BB).toInt64(), A / B);
+      EXPECT_EQ((BA % BB).toInt64(), A % B);
+    }
+    EXPECT_EQ(BA.compare(BB), A < B ? -1 : (A == B ? 0 : 1));
+  }
+}
+
+/// Division round-trip property on large random operands:
+/// A == (A / B) * B + (A % B) and |A % B| < |B|.
+TEST(BigIntTest, RandomDivisionRoundTrip) {
+  std::mt19937_64 Rng(99);
+  auto RandomBig = [&](int Limbs) {
+    BigInt V(0);
+    for (int I = 0; I < Limbs; ++I)
+      V = V * BigInt("4294967296") + BigInt(uint64_t(Rng() & 0xffffffffu));
+    if (Rng() & 1)
+      V = -V;
+    return V;
+  };
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    BigInt A = RandomBig(1 + int(Rng() % 5));
+    BigInt B = RandomBig(1 + int(Rng() % 3));
+    if (B.isZero())
+      continue;
+    BigInt Q, R;
+    BigInt::divMod(A, B, Q, R);
+    EXPECT_EQ(Q * B + R, A);
+    EXPECT_LT(R.abs(), B.abs());
+    if (!R.isZero()) {
+      EXPECT_EQ(R.sign(), A.sign());
+    }
+    // Floor/ceil/mod coherence.
+    BigInt FD = BigInt::floorDiv(A, B), CD = BigInt::ceilDiv(A, B);
+    EXPECT_LE(FD, CD);
+    EXPECT_LE(CD - FD, BigInt(1));
+    BigInt FM = BigInt::floorMod(A, B);
+    EXPECT_GE(FM, BigInt(0));
+    EXPECT_LT(FM, B.abs());
+    EXPECT_TRUE(B.divides(A - FM));
+  }
+}
+
+TEST(BigIntTest, HashConsistency) {
+  EXPECT_EQ(BigInt(7).hash(), BigInt(7).hash());
+  EXPECT_EQ(BigInt("123456789123456789").hash(),
+            BigInt("123456789123456789").hash());
+  EXPECT_NE(BigInt(7).hash(), BigInt(-7).hash());
+}
+
+} // namespace

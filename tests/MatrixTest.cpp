@@ -1,0 +1,190 @@
+//===- tests/MatrixTest.cpp - Matrix / SNF / HNF tests -------------------===//
+
+#include "matrix/Matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using omega::BigInt;
+using omega::hermiteNormalForm;
+using omega::HermiteForm;
+using omega::Matrix;
+using omega::SmithForm;
+using omega::smithNormalForm;
+
+namespace {
+
+Matrix randomMatrix(std::mt19937_64 &Rng, unsigned Rows, unsigned Cols,
+                    int Range) {
+  Matrix M(Rows, Cols);
+  for (unsigned R = 0; R < Rows; ++R)
+    for (unsigned C = 0; C < Cols; ++C)
+      M.at(R, C) = BigInt(int64_t(Rng() % (2 * Range + 1)) - Range);
+  return M;
+}
+
+TEST(MatrixTest, IdentityAndProduct) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix I = Matrix::identity(2);
+  EXPECT_EQ(A * I, A);
+  EXPECT_EQ(I * A, A);
+  Matrix B = Matrix::fromRows({{5, 6}, {7, 8}});
+  Matrix AB = Matrix::fromRows({{19, 22}, {43, 50}});
+  EXPECT_EQ(A * B, AB);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix A = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix T = Matrix::fromRows({{1, 4}, {2, 5}, {3, 6}});
+  EXPECT_EQ(A.transpose(), T);
+  EXPECT_EQ(A.transpose().transpose(), A);
+}
+
+TEST(MatrixTest, Determinant) {
+  EXPECT_EQ(Matrix::fromRows({{1, 2}, {3, 4}}).determinant().toInt64(), -2);
+  EXPECT_EQ(Matrix::identity(5).determinant().toInt64(), 1);
+  EXPECT_EQ(Matrix::fromRows({{2, 0, 0}, {0, 3, 0}, {0, 0, 4}})
+                .determinant()
+                .toInt64(),
+            24);
+  // Singular matrix.
+  EXPECT_EQ(Matrix::fromRows({{1, 2}, {2, 4}}).determinant().toInt64(), 0);
+  // Needs a row swap (zero pivot).
+  EXPECT_EQ(Matrix::fromRows({{0, 1}, {1, 0}}).determinant().toInt64(), -1);
+}
+
+TEST(MatrixTest, DeterminantMultiplicativeRandom) {
+  std::mt19937_64 Rng(11);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    Matrix A = randomMatrix(Rng, 4, 4, 5);
+    Matrix B = randomMatrix(Rng, 4, 4, 5);
+    EXPECT_EQ((A * B).determinant(), A.determinant() * B.determinant());
+  }
+}
+
+TEST(MatrixTest, RowColumnOps) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  A.swapRows(0, 1);
+  EXPECT_EQ(A, Matrix::fromRows({{3, 4}, {1, 2}}));
+  A.addRowMultiple(1, 0, BigInt(2));
+  EXPECT_EQ(A, Matrix::fromRows({{3, 4}, {7, 10}}));
+  A.negateCol(0);
+  EXPECT_EQ(A, Matrix::fromRows({{-3, 4}, {-7, 10}}));
+  A.swapCols(0, 1);
+  EXPECT_EQ(A, Matrix::fromRows({{4, -3}, {10, -7}}));
+  A.addColMultiple(0, 1, BigInt(1));
+  EXPECT_EQ(A, Matrix::fromRows({{1, -3}, {3, -7}}));
+}
+
+void checkSmith(const Matrix &A) {
+  SmithForm S = smithNormalForm(A);
+  EXPECT_TRUE(S.U.isUnimodular()) << "U not unimodular for " << A.toString();
+  EXPECT_TRUE(S.V.isUnimodular()) << "V not unimodular for " << A.toString();
+  EXPECT_EQ(S.U * A * S.V, S.D) << "UAV != D for " << A.toString();
+  // D diagonal, non-negative, divisibility chain, nonzeros first.
+  for (unsigned R = 0; R < S.D.rows(); ++R)
+    for (unsigned C = 0; C < S.D.cols(); ++C)
+      if (R != C) {
+        EXPECT_TRUE(S.D.at(R, C).isZero());
+      }
+  unsigned N = std::min(S.D.rows(), S.D.cols());
+  for (unsigned I = 0; I < N; ++I) {
+    EXPECT_GE(S.D.at(I, I).sign(), 0);
+    if (I + 1 < N) {
+      if (S.D.at(I, I).isZero()) {
+        EXPECT_TRUE(S.D.at(I + 1, I + 1).isZero());
+      } else {
+        EXPECT_TRUE(S.D.at(I, I).divides(S.D.at(I + 1, I + 1)));
+      }
+    }
+  }
+  unsigned Rank = 0;
+  for (unsigned I = 0; I < N; ++I)
+    if (!S.D.at(I, I).isZero())
+      ++Rank;
+  EXPECT_EQ(Rank, S.Rank);
+}
+
+TEST(SmithFormTest, KnownSmall) {
+  SmithForm S = smithNormalForm(Matrix::fromRows({{2, 4, 4}, {-6, 6, 12},
+                                                  {10, 4, 16}}));
+  EXPECT_EQ(S.D.at(0, 0).toInt64(), 2);
+  EXPECT_EQ(S.D.at(1, 1).toInt64(), 2);
+  EXPECT_EQ(S.D.at(2, 2).toInt64(), 156);
+  checkSmith(Matrix::fromRows({{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}}));
+}
+
+TEST(SmithFormTest, ZeroAndIdentity) {
+  checkSmith(Matrix(3, 3));
+  checkSmith(Matrix::identity(4));
+  SmithForm S = smithNormalForm(Matrix(2, 5));
+  EXPECT_EQ(S.Rank, 0u);
+}
+
+TEST(SmithFormTest, RectangularAndRankDeficient) {
+  checkSmith(Matrix::fromRows({{1, 2, 3}, {4, 5, 6}}));
+  checkSmith(Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}}));
+  SmithForm S = smithNormalForm(Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}}));
+  EXPECT_EQ(S.Rank, 1u);
+}
+
+TEST(SmithFormTest, SingleRowGcd) {
+  SmithForm S = smithNormalForm(Matrix::fromRows({{6, 9}}));
+  EXPECT_EQ(S.D.at(0, 0).toInt64(), 3); // gcd(6,9)
+  checkSmith(Matrix::fromRows({{6, 9}}));
+}
+
+TEST(SmithFormTest, RandomProperty) {
+  std::mt19937_64 Rng(21);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    unsigned Rows = 1 + Rng() % 4, Cols = 1 + Rng() % 4;
+    checkSmith(randomMatrix(Rng, Rows, Cols, 8));
+  }
+}
+
+void checkHermite(const Matrix &A) {
+  HermiteForm H = hermiteNormalForm(A);
+  EXPECT_TRUE(H.U.isUnimodular()) << "U not unimodular for " << A.toString();
+  EXPECT_EQ(A * H.U, H.H) << "AU != H for " << A.toString();
+  // Pivot structure: column pivots strictly descend in row index.
+  int LastPivotRow = -1;
+  for (unsigned C = 0; C < H.Rank; ++C) {
+    int PivotRow = -1;
+    for (unsigned R = 0; R < H.H.rows(); ++R)
+      if (!H.H.at(R, C).isZero()) {
+        PivotRow = int(R);
+        break;
+      }
+    ASSERT_GE(PivotRow, 0);
+    EXPECT_GT(PivotRow, LastPivotRow);
+    LastPivotRow = PivotRow;
+    EXPECT_TRUE(H.H.at(PivotRow, C).isPositive());
+    // Entries left of the pivot in the pivot row are reduced mod pivot.
+    for (unsigned C2 = 0; C2 < C; ++C2) {
+      EXPECT_GE(H.H.at(PivotRow, C2).sign(), 0);
+      EXPECT_LT(H.H.at(PivotRow, C2), H.H.at(PivotRow, C));
+    }
+  }
+  // Columns beyond the rank are zero.
+  for (unsigned C = H.Rank; C < H.H.cols(); ++C)
+    for (unsigned R = 0; R < H.H.rows(); ++R)
+      EXPECT_TRUE(H.H.at(R, C).isZero());
+}
+
+TEST(HermiteFormTest, KnownSmall) {
+  HermiteForm H = hermiteNormalForm(Matrix::fromRows({{6, 9}}));
+  EXPECT_EQ(H.H.at(0, 0).toInt64(), 3);
+  EXPECT_EQ(H.Rank, 1u);
+  checkHermite(Matrix::fromRows({{6, 9}}));
+}
+
+TEST(HermiteFormTest, RandomProperty) {
+  std::mt19937_64 Rng(31);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    unsigned Rows = 1 + Rng() % 4, Cols = 1 + Rng() % 4;
+    checkHermite(randomMatrix(Rng, Rows, Cols, 8));
+  }
+}
+
+} // namespace

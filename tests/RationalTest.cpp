@@ -1,0 +1,89 @@
+//===- tests/RationalTest.cpp - Rational unit & property tests -----------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using omega::BigInt;
+using omega::Rational;
+
+namespace {
+
+TEST(RationalTest, NormalizationInvariants) {
+  Rational R(BigInt(4), BigInt(-6));
+  EXPECT_EQ(R.numerator().toInt64(), -2);
+  EXPECT_EQ(R.denominator().toInt64(), 3);
+  Rational Z(BigInt(0), BigInt(-5));
+  EXPECT_TRUE(Z.isZero());
+  EXPECT_EQ(Z.denominator().toInt64(), 1);
+  EXPECT_EQ(Rational(BigInt(10), BigInt(5)), Rational(2));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(BigInt(1), BigInt(2));
+  Rational Third(BigInt(1), BigInt(3));
+  EXPECT_EQ(Half + Third, Rational(BigInt(5), BigInt(6)));
+  EXPECT_EQ(Half - Third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(Half * Third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(Half / Third, Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(-Half, Rational(BigInt(-1), BigInt(2)));
+  EXPECT_EQ(Half + (-Half), Rational(0));
+}
+
+TEST(RationalTest, Ordering) {
+  Rational A(BigInt(1), BigInt(3)), B(BigInt(1), BigInt(2));
+  EXPECT_LT(A, B);
+  EXPECT_GT(B, A);
+  EXPECT_LE(A, A);
+  EXPECT_LT(Rational(BigInt(-1), BigInt(2)), A);
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)).compare(B), 0);
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).floor().toInt64(), 3);
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).ceil().toInt64(), 4);
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).floor().toInt64(), -4);
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).ceil().toInt64(), -3);
+  EXPECT_EQ(Rational(3).floor().toInt64(), 3);
+  EXPECT_EQ(Rational(3).ceil().toInt64(), 3);
+}
+
+TEST(RationalTest, IntegerPredicates) {
+  EXPECT_TRUE(Rational(BigInt(4), BigInt(2)).isInteger());
+  EXPECT_FALSE(Rational(BigInt(1), BigInt(2)).isInteger());
+  EXPECT_EQ(Rational(BigInt(4), BigInt(2)).asInteger().toInt64(), 2);
+}
+
+TEST(RationalTest, PowAndToString) {
+  Rational TwoThirds(BigInt(2), BigInt(3));
+  EXPECT_EQ(Rational::pow(TwoThirds, 3), Rational(BigInt(8), BigInt(27)));
+  EXPECT_EQ(Rational::pow(TwoThirds, 0), Rational(1));
+  EXPECT_EQ(TwoThirds.toString(), "2/3");
+  EXPECT_EQ(Rational(-5).toString(), "-5");
+  EXPECT_EQ(Rational(BigInt(-1), BigInt(2)).toString(), "-1/2");
+}
+
+TEST(RationalTest, FieldAxiomsRandomized) {
+  std::mt19937_64 Rng(5);
+  auto Rand = [&] {
+    BigInt N(int64_t(Rng() % 41) - 20);
+    BigInt D(int64_t(Rng() % 20) + 1);
+    return Rational(N, D);
+  };
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    Rational A = Rand(), B = Rand(), C = Rand();
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ(A * B, B * A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    EXPECT_EQ((A * B) * C, A * (B * C));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    if (!B.isZero()) {
+      EXPECT_EQ((A / B) * B, A);
+    }
+    EXPECT_EQ(A - A, Rational(0));
+  }
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+//===- tests/VerifyDependenceTest.cpp - Verification & dependence tests --===//
+
+#include "apps/Dependence.h"
+#include "omega/Verify.h"
+#include "presburger/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+
+namespace {
+
+AffineExpr var(const char *N) { return AffineExpr::variable(N); }
+Rational rat(long long N) { return Rational(BigInt(N)); }
+
+TEST(VerifyTest, Satisfiability) {
+  EXPECT_TRUE(isSatisfiable(parseFormulaOrDie("1 <= x <= 5")));
+  EXPECT_FALSE(isSatisfiable(parseFormulaOrDie("x >= 1 && x <= 0")));
+  EXPECT_FALSE(isSatisfiable(parseFormulaOrDie("2 | x && 2 | x + 1")));
+  EXPECT_TRUE(isUnsatisfiable(parseFormulaOrDie("3*x = 2")));
+}
+
+TEST(VerifyTest, Tautology) {
+  EXPECT_TRUE(isTautology(parseFormulaOrDie("x <= 5 || x >= 2")));
+  EXPECT_FALSE(isTautology(parseFormulaOrDie("x <= 5")));
+  // Every integer is even or odd.
+  EXPECT_TRUE(isTautology(parseFormulaOrDie("2 | x || 2 | x + 1")));
+  // Integer rounding: 2*floor(x/2) <= x always.
+  EXPECT_TRUE(
+      isTautology(parseFormulaOrDie("exists(q: x - 1 <= 2*q <= x && "
+                                    "2*q <= x)")));
+}
+
+TEST(VerifyTest, Implications) {
+  EXPECT_TRUE(verifyImplies(parseFormulaOrDie("x >= 3"),
+                            parseFormulaOrDie("x >= 1")));
+  EXPECT_FALSE(verifyImplies(parseFormulaOrDie("x >= 1"),
+                             parseFormulaOrDie("x >= 3")));
+  EXPECT_TRUE(verifyImplies(parseFormulaOrDie("4 | x"),
+                            parseFormulaOrDie("2 | x")));
+  // The paper's quantified form: (∃y: P) => (∃z: Q).
+  EXPECT_TRUE(verifyImplies(
+      parseFormulaOrDie("exists(y: x = 4*y && 1 <= y <= 10)"),
+      parseFormulaOrDie("exists(z: x = 2*z && 1 <= z <= 25)")));
+  EXPECT_FALSE(verifyImplies(
+      parseFormulaOrDie("exists(z: x = 2*z && 1 <= z <= 25)"),
+      parseFormulaOrDie("exists(y: x = 4*y && 1 <= y <= 10)")));
+}
+
+TEST(VerifyTest, Equivalence) {
+  // x even, two phrasings.
+  EXPECT_TRUE(verifyEquivalent(parseFormulaOrDie("2 | x"),
+                               parseFormulaOrDie("exists(k: x = 2*k)")));
+  // De Morgan.
+  EXPECT_TRUE(verifyEquivalent(
+      parseFormulaOrDie("!(x >= 1 && y >= 1)"),
+      parseFormulaOrDie("x <= 0 || y <= 0")));
+  EXPECT_FALSE(verifyEquivalent(parseFormulaOrDie("x >= 0"),
+                                parseFormulaOrDie("x >= 1")));
+  // Tightening: 2x >= 5 over integers is x >= 3.
+  EXPECT_TRUE(verifyEquivalent(parseFormulaOrDie("2*x >= 5"),
+                               parseFormulaOrDie("x >= 3")));
+}
+
+LoopNest oneLoop(const char *V = "i") {
+  LoopNest Nest;
+  Nest.add(V, AffineExpr(1), var("n"));
+  return Nest;
+}
+
+TEST(DependenceTest, LoopCarriedFlow) {
+  // a(i) written, a(i-1) read: flow dependence from iteration i to i+1.
+  LoopNest Nest = oneLoop();
+  ArrayRef Wr{"a", {var("i")}};
+  ArrayRef Rd{"a", {var("i") - AffineExpr(1)}};
+  EXPECT_TRUE(hasDependence(Nest, Wr, Rd));
+  PiecewiseValue Count = countDependencePairs(Nest, Wr, Rd);
+  // Pairs (i, i') with i' = i + 1 and both in range: n - 1 of them.
+  for (int64_t N = 0; N <= 10; ++N)
+    EXPECT_EQ(Count.evaluate({{"n", BigInt(N)}}),
+              rat(std::max<int64_t>(0, N - 1)))
+        << N;
+}
+
+TEST(DependenceTest, StrideDisjointAccesses) {
+  // a(2i) written, a(2i+1) read: never the same cell.
+  LoopNest Nest = oneLoop();
+  ArrayRef Wr{"a", {BigInt(2) * var("i")}};
+  ArrayRef Rd{"a", {BigInt(2) * var("i") + AffineExpr(1)}};
+  EXPECT_FALSE(hasDependence(Nest, Wr, Rd));
+  PiecewiseValue Count = countDependencePairs(Nest, Wr, Rd);
+  for (int64_t N = 0; N <= 8; ++N)
+    EXPECT_EQ(Count.evaluate({{"n", BigInt(N)}}), rat(0)) << N;
+}
+
+TEST(DependenceTest, AllPairsOnScalarLikeCell) {
+  // a(1) written and read by every iteration: every ordered pair.
+  LoopNest Nest = oneLoop();
+  ArrayRef Wr{"a", {AffineExpr(1)}};
+  ArrayRef Rd{"a", {AffineExpr(1)}};
+  PiecewiseValue Count = countDependencePairs(Nest, Wr, Rd);
+  for (int64_t N = 0; N <= 8; ++N)
+    EXPECT_EQ(Count.evaluate({{"n", BigInt(N)}}),
+              rat(std::max<int64_t>(0, N * (N - 1) / 2)))
+        << N;
+}
+
+TEST(DependenceTest, TwoDimensionalLexOrder) {
+  // a(i, j) written, a(i-1, j+1) read over an n x n nest: dependence
+  // pairs ((i,j) -> (i+1, j-1)); count (n-1)^2-ish — verify by brute
+  // force.
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(1), var("n"));
+  Nest.add("j", AffineExpr(1), var("n"));
+  ArrayRef Wr{"a", {var("i"), var("j")}};
+  ArrayRef Rd{"a", {var("i") - AffineExpr(1), var("j") + AffineExpr(1)}};
+  PiecewiseValue Count = countDependencePairs(Nest, Wr, Rd);
+  for (int64_t N = 0; N <= 6; ++N) {
+    int64_t Expected = 0;
+    for (int64_t I = 1; I <= N; ++I)
+      for (int64_t J = 1; J <= N; ++J)
+        for (int64_t IP = 1; IP <= N; ++IP)
+          for (int64_t JP = 1; JP <= N; ++JP) {
+            bool Lex = I < IP || (I == IP && J < JP);
+            if (Lex && I == IP - 1 && J == JP + 1)
+              ++Expected;
+          }
+    EXPECT_EQ(Count.evaluate({{"n", BigInt(N)}}), rat(Expected)) << N;
+  }
+}
+
+TEST(DependenceTest, SplitCommunicationVolume) {
+  // a(i) = ... a(i-2): splitting the loop after iteration s, the second
+  // half reads cells s-1 and s written by the first half: 2 cells (when
+  // the ranges permit).
+  LoopNest Nest = oneLoop();
+  ArrayRef Wr{"a", {var("i")}};
+  ArrayRef Rd{"a", {var("i") - AffineExpr(2)}};
+  PiecewiseValue Comm =
+      splitCommunicationCells(Nest, Wr, Rd, "i", "s");
+  for (int64_t N = 8, S = 0; S <= N; ++S) {
+    // Cells written in [1, s] and read in [s+1, n] (read cell = i-2).
+    int64_t Lo = std::max<int64_t>(1, S - 1);
+    int64_t Hi = std::min<int64_t>(S, N - 2);
+    int64_t Expected = std::max<int64_t>(0, Hi - Lo + 1);
+    EXPECT_EQ(Comm.evaluate({{"n", BigInt(N)}, {"s", BigInt(S)}}),
+              rat(Expected))
+        << "s=" << S;
+  }
+}
+
+TEST(DependenceTest, GuardedNest) {
+  // Triangular guard flows through primed copies: a(i+j) over i+j <= n.
+  LoopNest Nest;
+  Nest.add("i", AffineExpr(1), var("n"));
+  Nest.add("j", AffineExpr(1), var("n"));
+  Nest.guard(Constraint::le(var("i") + var("j"), var("n")));
+  ArrayRef Wr{"a", {var("i") + var("j")}};
+  ArrayRef Rd{"a", {var("i") + var("j")}};
+  PiecewiseValue Count = countDependencePairs(Nest, Wr, Rd);
+  for (int64_t N = 0; N <= 6; ++N) {
+    int64_t Expected = 0;
+    for (int64_t I = 1; I <= N; ++I)
+      for (int64_t J = 1; I + J <= N; ++J)
+        for (int64_t IP = 1; IP <= N; ++IP)
+          for (int64_t JP = 1; IP + JP <= N; ++JP) {
+            bool Lex = I < IP || (I == IP && J < JP);
+            if (Lex && I + J == IP + JP)
+              ++Expected;
+          }
+    EXPECT_EQ(Count.evaluate({{"n", BigInt(N)}}), rat(Expected)) << N;
+  }
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+//===- tools/omegacount.cpp - Command-line counter -----------------------===//
+//
+// Command-line front end for the library:
+//
+//   omegacount --vars i,j [options] "1 <= i,j <= n && 2*i <= 3*j"
+//
+// Prints the simplified disjoint DNF, the symbolic count (or polynomial
+// sum), and optional evaluations.
+//
+// Options:
+//   --vars a,b,c       counted variables (required for counting)
+//   --sum "i"          sum this polynomial (product of vars and integers)
+//                      instead of counting
+//   --strategy S       splinter | mod | upper | lower | approx
+//   --at n=5,m=3       evaluate the result at symbol values (repeatable)
+//   --simplify-only    print the disjoint DNF and stop
+//   --sample           print one concrete solution per --at
+//
+//===----------------------------------------------------------------------===//
+
+#include "counting/Set.h"
+#include "presburger/Parser.h"
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace omega;
+
+namespace {
+
+void fail(const std::string &Msg) {
+  std::cerr << "omegacount: error: " << Msg << "\n";
+  std::exit(1);
+}
+
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::istringstream IS(S);
+  std::string Item;
+  while (std::getline(IS, Item, ','))
+    if (!Item.empty())
+      Out.push_back(Item);
+  return Out;
+}
+
+Assignment parseBindings(const std::string &S) {
+  Assignment Out;
+  for (const std::string &Pair : splitList(S)) {
+    size_t Eq = Pair.find('=');
+    if (Eq == std::string::npos)
+      fail("expected name=value in --at: " + Pair);
+    BigInt V;
+    if (!BigInt::fromString(Pair.substr(Eq + 1), V))
+      fail("bad integer in --at: " + Pair);
+    Out[Pair.substr(0, Eq)] = V;
+  }
+  return Out;
+}
+
+/// Parses a summand: '*'-separated factors, each a variable or integer,
+/// '+'-separated terms.  E.g. "i*j + 2*i".
+QuasiPolynomial parseSummand(const std::string &S) {
+  QuasiPolynomial Sum;
+  std::istringstream Terms(S);
+  std::string Term;
+  while (std::getline(Terms, Term, '+')) {
+    QuasiPolynomial P(Rational(1));
+    std::istringstream Factors(Term);
+    std::string Factor;
+    bool Any = false;
+    while (std::getline(Factors, Factor, '*')) {
+      // Trim whitespace.
+      size_t B = Factor.find_first_not_of(" \t");
+      size_t E = Factor.find_last_not_of(" \t");
+      if (B == std::string::npos)
+        continue;
+      Factor = Factor.substr(B, E - B + 1);
+      Any = true;
+      BigInt C;
+      if (BigInt::fromString(Factor, C))
+        P *= Rational(C);
+      else
+        P *= QuasiPolynomial::variable(Factor);
+    }
+    if (Any)
+      Sum += P;
+  }
+  if (Sum.isZero())
+    fail("empty --sum polynomial");
+  return Sum;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Vars;
+  std::string SumText;
+  std::vector<Assignment> Ats;
+  SumOptions Opts;
+  bool SimplifyOnly = false, Sample = false;
+  std::string FormulaText;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> std::string {
+      if (++I >= Argc)
+        fail("missing value after " + Arg);
+      return Argv[I];
+    };
+    if (Arg == "--vars")
+      Vars = splitList(Next());
+    else if (Arg == "--sum")
+      SumText = Next();
+    else if (Arg == "--at")
+      Ats.push_back(parseBindings(Next()));
+    else if (Arg == "--strategy") {
+      std::string S = Next();
+      if (S == "splinter")
+        Opts.Strategy = BoundStrategy::Splinter;
+      else if (S == "mod")
+        Opts.Strategy = BoundStrategy::SymbolicMod;
+      else if (S == "upper")
+        Opts.Strategy = BoundStrategy::UpperBound;
+      else if (S == "lower")
+        Opts.Strategy = BoundStrategy::LowerBound;
+      else if (S == "approx")
+        Opts.Strategy = BoundStrategy::Approximate;
+      else
+        fail("unknown strategy: " + S);
+    } else if (Arg == "--simplify-only")
+      SimplifyOnly = true;
+    else if (Arg == "--sample")
+      Sample = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      std::cout
+          << "usage: omegacount --vars i,j [options] \"<formula>\"\n"
+             "  --sum POLY       sum POLY (e.g. \"i*j + 2*i\") over the "
+             "solutions\n"
+             "  --strategy S     splinter|mod|upper|lower|approx\n"
+             "  --at n=5,m=3     evaluate the symbolic answer (repeatable)\n"
+             "  --simplify-only  print disjoint DNF only\n"
+             "  --sample         print one solution per --at binding\n";
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-')
+      fail("unknown option: " + Arg);
+    else if (FormulaText.empty())
+      FormulaText = Arg;
+    else
+      fail("multiple formulas given");
+  }
+
+  if (FormulaText.empty())
+    fail("no formula given (try --help)");
+  ParseResult R = parseFormula(FormulaText);
+  if (!R)
+    fail("parse: " + R.Error);
+  Formula F = *R.Value;
+
+  SimplifyOptions SOpts;
+  SOpts.Disjoint = true;
+  std::vector<Conjunct> D = simplify(F, SOpts);
+  std::cout << "disjoint DNF (" << D.size() << " clause"
+            << (D.size() == 1 ? "" : "s") << "):\n";
+  for (const Conjunct &C : D)
+    std::cout << "  " << C << "\n";
+  if (SimplifyOnly)
+    return 0;
+
+  if (Vars.empty())
+    fail("--vars required for counting");
+  PresburgerSet Set(Vars, F);
+
+  PiecewiseValue V = SumText.empty()
+                         ? Set.count(Opts)
+                         : Set.sum(parseSummand(SumText), Opts);
+  std::cout << (SumText.empty() ? "count" : "sum") << ":\n  " << V << "\n";
+  if (V.isUnbounded())
+    return 0;
+
+  for (const Assignment &At : Ats) {
+    std::cout << "at";
+    for (const auto &[Name, Value] : At)
+      std::cout << " " << Name << "=" << Value;
+    std::cout << ": " << V.evaluate(At).toString() << "\n";
+    if (Sample) {
+      if (std::optional<Assignment> P = Set.sample(At)) {
+        std::cout << "  sample:";
+        for (const std::string &Name : Vars)
+          std::cout << " " << Name << "=" << P->at(Name);
+        std::cout << "\n";
+      } else {
+        std::cout << "  sample: <empty>\n";
+      }
+    }
+  }
+  return 0;
+}
