@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dependence.dir/bench_dependence.cpp.o"
+  "CMakeFiles/bench_dependence.dir/bench_dependence.cpp.o.d"
+  "bench_dependence"
+  "bench_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

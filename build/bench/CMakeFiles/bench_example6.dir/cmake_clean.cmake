@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example6.dir/bench_example6.cpp.o"
+  "CMakeFiles/bench_example6.dir/bench_example6.cpp.o.d"
+  "bench_example6"
+  "bench_example6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpf.dir/bench_hpf.cpp.o"
+  "CMakeFiles/bench_hpf.dir/bench_hpf.cpp.o.d"
+  "bench_hpf"
+  "bench_hpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

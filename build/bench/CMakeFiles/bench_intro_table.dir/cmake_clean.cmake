@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_table.dir/bench_intro_table.cpp.o"
+  "CMakeFiles/bench_intro_table.dir/bench_intro_table.cpp.o.d"
+  "bench_intro_table"
+  "bench_intro_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rational_bounds.dir/bench_rational_bounds.cpp.o"
+  "CMakeFiles/bench_rational_bounds.dir/bench_rational_bounds.cpp.o.d"
+  "bench_rational_bounds"
+  "bench_rational_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rational_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

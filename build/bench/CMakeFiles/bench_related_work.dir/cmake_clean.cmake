@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_work.dir/bench_related_work.cpp.o"
+  "CMakeFiles/bench_related_work.dir/bench_related_work.cpp.o.d"
+  "bench_related_work"
+  "bench_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

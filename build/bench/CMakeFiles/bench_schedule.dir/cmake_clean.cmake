@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schedule.dir/bench_schedule.cpp.o"
+  "CMakeFiles/bench_schedule.dir/bench_schedule.cpp.o.d"
+  "bench_schedule"
+  "bench_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simplify.dir/bench_simplify.cpp.o"
+  "CMakeFiles/bench_simplify.dir/bench_simplify.cpp.o.d"
+  "bench_simplify"
+  "bench_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

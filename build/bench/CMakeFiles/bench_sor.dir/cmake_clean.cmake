@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sor.dir/bench_sor.cpp.o"
+  "CMakeFiles/bench_sor.dir/bench_sor.cpp.o.d"
+  "bench_sor"
+  "bench_sor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

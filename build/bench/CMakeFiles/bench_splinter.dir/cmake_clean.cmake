@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_splinter.dir/bench_splinter.cpp.o"
+  "CMakeFiles/bench_splinter.dir/bench_splinter.cpp.o.d"
+  "bench_splinter"
+  "bench_splinter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_splinter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

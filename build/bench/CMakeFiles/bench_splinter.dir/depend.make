@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_splinter.
+# This may be replaced when dependencies are built.

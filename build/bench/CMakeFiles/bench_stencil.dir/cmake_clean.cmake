@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stencil.dir/bench_stencil.cpp.o"
+  "CMakeFiles/bench_stencil.dir/bench_stencil.cpp.o.d"
+  "bench_stencil"
+  "bench_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balanced_schedule.dir/balanced_schedule.cpp.o"
+  "CMakeFiles/balanced_schedule.dir/balanced_schedule.cpp.o.d"
+  "balanced_schedule"
+  "balanced_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balanced_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_model.dir/cache_model.cpp.o"
+  "CMakeFiles/cache_model.dir/cache_model.cpp.o.d"
+  "cache_model"
+  "cache_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

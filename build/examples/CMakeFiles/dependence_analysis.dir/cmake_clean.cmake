@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependence_analysis.dir/dependence_analysis.cpp.o"
+  "CMakeFiles/dependence_analysis.dir/dependence_analysis.cpp.o.d"
+  "dependence_analysis"
+  "dependence_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependence_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

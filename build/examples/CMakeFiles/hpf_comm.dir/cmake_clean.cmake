@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_comm.dir/hpf_comm.cpp.o"
+  "CMakeFiles/hpf_comm.dir/hpf_comm.cpp.o.d"
+  "hpf_comm"
+  "hpf_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

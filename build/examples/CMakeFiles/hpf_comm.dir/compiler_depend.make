@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpf_comm.
+# This may be replaced when dependencies are built.

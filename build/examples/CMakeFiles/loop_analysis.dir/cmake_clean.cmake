@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_analysis.dir/loop_analysis.cpp.o"
+  "CMakeFiles/loop_analysis.dir/loop_analysis.cpp.o.d"
+  "loop_analysis"
+  "loop_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

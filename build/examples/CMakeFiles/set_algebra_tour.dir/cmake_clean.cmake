@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_algebra_tour.dir/set_algebra_tour.cpp.o"
+  "CMakeFiles/set_algebra_tour.dir/set_algebra_tour.cpp.o.d"
+  "set_algebra_tour"
+  "set_algebra_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_algebra_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/CodeGen.cpp" "src/apps/CMakeFiles/omega_apps.dir/CodeGen.cpp.o" "gcc" "src/apps/CMakeFiles/omega_apps.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/apps/Dependence.cpp" "src/apps/CMakeFiles/omega_apps.dir/Dependence.cpp.o" "gcc" "src/apps/CMakeFiles/omega_apps.dir/Dependence.cpp.o.d"
+  "/root/repo/src/apps/HpfDistribution.cpp" "src/apps/CMakeFiles/omega_apps.dir/HpfDistribution.cpp.o" "gcc" "src/apps/CMakeFiles/omega_apps.dir/HpfDistribution.cpp.o.d"
+  "/root/repo/src/apps/LoopNest.cpp" "src/apps/CMakeFiles/omega_apps.dir/LoopNest.cpp.o" "gcc" "src/apps/CMakeFiles/omega_apps.dir/LoopNest.cpp.o.d"
+  "/root/repo/src/apps/MemoryModel.cpp" "src/apps/CMakeFiles/omega_apps.dir/MemoryModel.cpp.o" "gcc" "src/apps/CMakeFiles/omega_apps.dir/MemoryModel.cpp.o.d"
+  "/root/repo/src/apps/Scheduling.cpp" "src/apps/CMakeFiles/omega_apps.dir/Scheduling.cpp.o" "gcc" "src/apps/CMakeFiles/omega_apps.dir/Scheduling.cpp.o.d"
+  "/root/repo/src/apps/UniformlyGenerated.cpp" "src/apps/CMakeFiles/omega_apps.dir/UniformlyGenerated.cpp.o" "gcc" "src/apps/CMakeFiles/omega_apps.dir/UniformlyGenerated.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/counting/CMakeFiles/omega_counting.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/omega_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/omega_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/presburger/CMakeFiles/omega_presburger.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/omega_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

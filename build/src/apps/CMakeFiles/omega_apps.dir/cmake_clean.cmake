@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_apps.dir/CodeGen.cpp.o"
+  "CMakeFiles/omega_apps.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/omega_apps.dir/Dependence.cpp.o"
+  "CMakeFiles/omega_apps.dir/Dependence.cpp.o.d"
+  "CMakeFiles/omega_apps.dir/HpfDistribution.cpp.o"
+  "CMakeFiles/omega_apps.dir/HpfDistribution.cpp.o.d"
+  "CMakeFiles/omega_apps.dir/LoopNest.cpp.o"
+  "CMakeFiles/omega_apps.dir/LoopNest.cpp.o.d"
+  "CMakeFiles/omega_apps.dir/MemoryModel.cpp.o"
+  "CMakeFiles/omega_apps.dir/MemoryModel.cpp.o.d"
+  "CMakeFiles/omega_apps.dir/Scheduling.cpp.o"
+  "CMakeFiles/omega_apps.dir/Scheduling.cpp.o.d"
+  "CMakeFiles/omega_apps.dir/UniformlyGenerated.cpp.o"
+  "CMakeFiles/omega_apps.dir/UniformlyGenerated.cpp.o.d"
+  "libomega_apps.a"
+  "libomega_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

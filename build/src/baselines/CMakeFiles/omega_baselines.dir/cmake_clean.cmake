@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_baselines.dir/Enumerator.cpp.o"
+  "CMakeFiles/omega_baselines.dir/Enumerator.cpp.o.d"
+  "CMakeFiles/omega_baselines.dir/FixedOrderSum.cpp.o"
+  "CMakeFiles/omega_baselines.dir/FixedOrderSum.cpp.o.d"
+  "CMakeFiles/omega_baselines.dir/InclusionExclusion.cpp.o"
+  "CMakeFiles/omega_baselines.dir/InclusionExclusion.cpp.o.d"
+  "libomega_baselines.a"
+  "libomega_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_counting.dir/Relation.cpp.o"
+  "CMakeFiles/omega_counting.dir/Relation.cpp.o.d"
+  "CMakeFiles/omega_counting.dir/Set.cpp.o"
+  "CMakeFiles/omega_counting.dir/Set.cpp.o.d"
+  "CMakeFiles/omega_counting.dir/Summation.cpp.o"
+  "CMakeFiles/omega_counting.dir/Summation.cpp.o.d"
+  "libomega_counting.a"
+  "libomega_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_matrix.dir/Matrix.cpp.o"
+  "CMakeFiles/omega_matrix.dir/Matrix.cpp.o.d"
+  "libomega_matrix.a"
+  "libomega_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omega/Project.cpp" "src/omega/CMakeFiles/omega_omega.dir/Project.cpp.o" "gcc" "src/omega/CMakeFiles/omega_omega.dir/Project.cpp.o.d"
+  "/root/repo/src/omega/Redundancy.cpp" "src/omega/CMakeFiles/omega_omega.dir/Redundancy.cpp.o" "gcc" "src/omega/CMakeFiles/omega_omega.dir/Redundancy.cpp.o.d"
+  "/root/repo/src/omega/Simplify.cpp" "src/omega/CMakeFiles/omega_omega.dir/Simplify.cpp.o" "gcc" "src/omega/CMakeFiles/omega_omega.dir/Simplify.cpp.o.d"
+  "/root/repo/src/omega/Verify.cpp" "src/omega/CMakeFiles/omega_omega.dir/Verify.cpp.o" "gcc" "src/omega/CMakeFiles/omega_omega.dir/Verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/presburger/CMakeFiles/omega_presburger.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_omega.dir/Project.cpp.o"
+  "CMakeFiles/omega_omega.dir/Project.cpp.o.d"
+  "CMakeFiles/omega_omega.dir/Redundancy.cpp.o"
+  "CMakeFiles/omega_omega.dir/Redundancy.cpp.o.d"
+  "CMakeFiles/omega_omega.dir/Simplify.cpp.o"
+  "CMakeFiles/omega_omega.dir/Simplify.cpp.o.d"
+  "CMakeFiles/omega_omega.dir/Verify.cpp.o"
+  "CMakeFiles/omega_omega.dir/Verify.cpp.o.d"
+  "libomega_omega.a"
+  "libomega_omega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_poly.dir/Faulhaber.cpp.o"
+  "CMakeFiles/omega_poly.dir/Faulhaber.cpp.o.d"
+  "CMakeFiles/omega_poly.dir/PiecewiseValue.cpp.o"
+  "CMakeFiles/omega_poly.dir/PiecewiseValue.cpp.o.d"
+  "CMakeFiles/omega_poly.dir/QuasiPolynomial.cpp.o"
+  "CMakeFiles/omega_poly.dir/QuasiPolynomial.cpp.o.d"
+  "libomega_poly.a"
+  "libomega_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_presburger.dir/AffineExpr.cpp.o"
+  "CMakeFiles/omega_presburger.dir/AffineExpr.cpp.o.d"
+  "CMakeFiles/omega_presburger.dir/Conjunct.cpp.o"
+  "CMakeFiles/omega_presburger.dir/Conjunct.cpp.o.d"
+  "CMakeFiles/omega_presburger.dir/Constraint.cpp.o"
+  "CMakeFiles/omega_presburger.dir/Constraint.cpp.o.d"
+  "CMakeFiles/omega_presburger.dir/Formula.cpp.o"
+  "CMakeFiles/omega_presburger.dir/Formula.cpp.o.d"
+  "CMakeFiles/omega_presburger.dir/NonLinear.cpp.o"
+  "CMakeFiles/omega_presburger.dir/NonLinear.cpp.o.d"
+  "CMakeFiles/omega_presburger.dir/Parser.cpp.o"
+  "CMakeFiles/omega_presburger.dir/Parser.cpp.o.d"
+  "libomega_presburger.a"
+  "libomega_presburger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_presburger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omega_presburger.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_support.dir/BigInt.cpp.o"
+  "CMakeFiles/omega_support.dir/BigInt.cpp.o.d"
+  "CMakeFiles/omega_support.dir/Rational.cpp.o"
+  "CMakeFiles/omega_support.dir/Rational.cpp.o.d"
+  "libomega_support.a"
+  "libomega_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

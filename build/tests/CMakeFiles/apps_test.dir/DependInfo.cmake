@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AppsTest.cpp" "tests/CMakeFiles/apps_test.dir/AppsTest.cpp.o" "gcc" "tests/CMakeFiles/apps_test.dir/AppsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/omega_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/counting/CMakeFiles/omega_counting.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/omega_omega.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/omega_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/presburger/CMakeFiles/omega_presburger.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/omega_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_test.dir/CountingTest.cpp.o"
+  "CMakeFiles/counting_test.dir/CountingTest.cpp.o.d"
+  "counting_test"
+  "counting_test.pdb"
+  "counting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formula_parser_test.dir/FormulaParserTest.cpp.o"
+  "CMakeFiles/formula_parser_test.dir/FormulaParserTest.cpp.o.d"
+  "formula_parser_test"
+  "formula_parser_test.pdb"
+  "formula_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formula_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_edge_test.dir/OmegaEdgeTest.cpp.o"
+  "CMakeFiles/omega_edge_test.dir/OmegaEdgeTest.cpp.o.d"
+  "omega_edge_test"
+  "omega_edge_test.pdb"
+  "omega_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

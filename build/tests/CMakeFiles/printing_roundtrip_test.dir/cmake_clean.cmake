@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printing_roundtrip_test.dir/PrintingRoundTripTest.cpp.o"
+  "CMakeFiles/printing_roundtrip_test.dir/PrintingRoundTripTest.cpp.o.d"
+  "printing_roundtrip_test"
+  "printing_roundtrip_test.pdb"
+  "printing_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printing_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

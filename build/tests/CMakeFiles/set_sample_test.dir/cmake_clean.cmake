@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_sample_test.dir/SetSampleTest.cpp.o"
+  "CMakeFiles/set_sample_test.dir/SetSampleTest.cpp.o.d"
+  "set_sample_test"
+  "set_sample_test.pdb"
+  "set_sample_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_sample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summation_edge_test.dir/SummationEdgeTest.cpp.o"
+  "CMakeFiles/summation_edge_test.dir/SummationEdgeTest.cpp.o.d"
+  "summation_edge_test"
+  "summation_edge_test.pdb"
+  "summation_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summation_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_dependence_test.dir/VerifyDependenceTest.cpp.o"
+  "CMakeFiles/verify_dependence_test.dir/VerifyDependenceTest.cpp.o.d"
+  "verify_dependence_test"
+  "verify_dependence_test.pdb"
+  "verify_dependence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_dependence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/rational_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/affine_test[1]_include.cmake")
+include("/root/repo/build/tests/formula_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/omega_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_test[1]_include.cmake")
+include("/root/repo/build/tests/counting_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_dependence_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/set_sample_test[1]_include.cmake")
+include("/root/repo/build/tests/omega_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/summation_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/printing_roundtrip_test[1]_include.cmake")
+add_test(cli_count "/root/repo/build/tools/omegacount" "--vars" "i" "--at" "n=10" "1 <= i <= n")
+set_tests_properties(cli_count PROPERTIES  PASS_REGULAR_EXPRESSION "at n=10: 10" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;58;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_sum "/root/repo/build/tools/omegacount" "--vars" "i" "--sum" "i" "--at" "n=10" "1 <= i <= n")
+set_tests_properties(cli_sum PROPERTIES  PASS_REGULAR_EXPRESSION "at n=10: 55" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;60;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_parse_error "/root/repo/build/tools/omegacount" "--vars" "i" "1 <=")
+set_tests_properties(cli_parse_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;62;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omegacount.dir/omegacount.cpp.o"
+  "CMakeFiles/omegacount.dir/omegacount.cpp.o.d"
+  "omegacount"
+  "omegacount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omegacount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
