@@ -1,0 +1,168 @@
+//===- analysis/Validator.h - IR structural invariant checking -*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static-analysis pass over the counting IR.  Pugh's algorithms are only
+/// correct when every layer preserves strong structural invariants —
+/// GCD-normalized constraints, positive stride moduli, properly scoped
+/// wildcards, pairwise-disjoint DNF after splintering (Fig. 1, §5.3), and
+/// well-formed guarded quasi-polynomials.  The Validator walks a value of
+/// any IR layer and reports violations as structured Diagnostics instead of
+/// aborting, so it can run in every build type:
+///
+///   * always-on, explicitly, from tools (omegalint) and tests;
+///   * at the simplify() / projectVars() / makeDisjoint() / summation
+///     boundaries when the build is configured with -DOMEGA_VALIDATE=ON
+///     (validateOrDie turns Error diagnostics into a loud abort).
+///
+/// The analysis layer depends only on presburger + poly.  Checks that need
+/// the Omega test (clause feasibility, pairwise disjointness) take an
+/// injected OverlapOracle, so callers in omega/counting can pass
+/// `feasible(Conjunct::merge(A, B))` without creating a layering cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_ANALYSIS_VALIDATOR_H
+#define OMEGA_ANALYSIS_VALIDATOR_H
+
+#include "poly/PiecewiseValue.h"
+#include "presburger/Formula.h"
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/// How bad a rule violation is.  Errors mean any count derived from the
+/// value is untrustworthy; Warnings flag suspicious-but-legal structure
+/// (e.g. an unused wildcard declaration).
+enum class Severity { Warning, Error };
+
+/// Which IR layer a diagnostic is about.
+enum class IRLayer {
+  Affine,     ///< AffineExpr
+  Constraint, ///< Constraint
+  Conjunct,   ///< Conjunct (one DNF clause)
+  Formula,    ///< Formula AST
+  Dnf,        ///< A union of clauses (simplify / projectVars result)
+  Poly,       ///< QuasiPolynomial / Atom
+  Piecewise   ///< PiecewiseValue (guarded answer)
+};
+
+const char *severityName(Severity S);
+const char *layerName(IRLayer L);
+
+/// One rule violation.
+struct Diagnostic {
+  Severity Sev;
+  IRLayer Layer;
+  std::string Rule;     ///< Stable kebab-case rule id, e.g. "eq-not-gcd-normalized".
+  std::string Message;  ///< Human-readable description with the offending text.
+  std::string Location; ///< Where in the walked value, e.g. "clause 2, constraint 1".
+
+  /// Renders "error: [dnf/clauses-overlap] clauses 0 and 2 share ... (at ...)".
+  std::string toString() const;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Diagnostic &D);
+
+/// Decides whether two clauses share an integer point (free variables
+/// universally ranged).  Pass `feasible(Conjunct::merge(A, B))`.  The
+/// Validator also uses Oracle(C, C) as a feasibility test for single
+/// clauses.
+using OverlapOracle =
+    std::function<bool(const Conjunct &, const Conjunct &)>;
+
+/// Tunes which invariants a context guarantees.
+struct ValidatorOptions {
+  /// Clauses must carry no wildcards (true at every omega boundary:
+  /// simplify / projectVars / makeDisjoint return projected clauses).
+  bool RequireWildcardFree = false;
+  /// Constraints must be fixpoints of Constraint::normalize() and clauses
+  /// must be duplicate- and trivial-constraint-free.
+  bool RequireNormalized = false;
+  /// Permit `$`-named variables that are mentioned but not declared by the
+  /// clause.  True only mid-pipeline: toDNF alpha-renames outer quantifier
+  /// variables to fresh wildcard names that stay *free* in inner clauses
+  /// until the outer projection consumes them, so the projectVars boundary
+  /// legitimately sees pending names.  At a top-level boundary (simplify)
+  /// a free `$` name is a scoping leak.
+  bool AllowFreeWildcardNames = false;
+  /// DNF clauses / piecewise guards must be pairwise disjoint (needs
+  /// Overlaps).  Only meaningful where the pipeline promised disjointness.
+  bool RequireDisjoint = false;
+  /// Optional Omega-test callback for feasibility/disjointness rules.
+  OverlapOracle Overlaps;
+};
+
+/// Collects diagnostics over any number of checked values.
+class Validator {
+public:
+  explicit Validator(ValidatorOptions Opts = {}) : Opts(std::move(Opts)) {}
+
+  /// Affine layer: no stored zero-coefficient terms.
+  void checkAffine(const AffineExpr &E, const std::string &Loc);
+
+  /// Constraint layer: positive stride modulus, and (RequireNormalized)
+  /// GCD-normalized Eq/Ge, reduced strides, no trivial or unsatisfiable
+  /// constraints.
+  void checkConstraint(const Constraint &K, const std::string &Loc);
+
+  /// Conjunct layer: wildcard scoping (every `$`-variable mentioned is
+  /// declared here, every declaration is used), no duplicate constraints
+  /// (RequireNormalized), no wildcards at all (RequireWildcardFree);
+  /// plus per-constraint checks.
+  void checkConjunct(const Conjunct &C, const std::string &Loc);
+
+  /// Formula layer: valid kind tags, connective arities, sound quantifier
+  /// scoping (non-empty, used, non-shadowing binders); plus atom checks.
+  void checkFormula(const Formula &F, const std::string &Loc);
+
+  /// DNF layer: per-clause conjunct checks, clause feasibility (with
+  /// Overlaps), pairwise disjointness (RequireDisjoint + Overlaps).
+  void checkDnf(const std::vector<Conjunct> &Clauses, const std::string &Loc);
+
+  /// Poly layer: no zero coefficients/exponents, positive mod-atom moduli,
+  /// mod arguments reduced coefficient-wise into [0, modulus).
+  void checkQuasiPolynomial(const QuasiPolynomial &P, const std::string &Loc);
+
+  /// Piecewise layer: wildcard-free guards, per-guard conjunct checks,
+  /// per-value poly checks, pairwise-disjoint guards (RequireDisjoint).
+  void checkPiecewise(const PiecewiseValue &V, const std::string &Loc);
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool hasErrors() const;
+  bool empty() const { return Diags.empty(); }
+
+private:
+  void report(Severity Sev, IRLayer Layer, std::string Rule,
+              std::string Message, std::string Loc);
+  void checkFormulaRec(const Formula &F, VarSet &Bound,
+                       const std::string &Loc);
+
+  ValidatorOptions Opts;
+  std::vector<Diagnostic> Diags;
+};
+
+/// One-shot conveniences.
+std::vector<Diagnostic> validateFormula(const Formula &F,
+                                        ValidatorOptions Opts = {});
+std::vector<Diagnostic> validateDnf(const std::vector<Conjunct> &Clauses,
+                                    ValidatorOptions Opts = {});
+std::vector<Diagnostic> validatePiecewise(const PiecewiseValue &V,
+                                          ValidatorOptions Opts = {});
+
+/// Prints every diagnostic to stderr prefixed with \p Boundary; aborts via
+/// fatalError if any has Severity::Error.  The OMEGA_VALIDATE pipeline
+/// hooks route through this.
+void validateOrDie(const std::vector<Diagnostic> &Diags,
+                   const char *Boundary);
+
+} // namespace omega
+
+#endif // OMEGA_ANALYSIS_VALIDATOR_H

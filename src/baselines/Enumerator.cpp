@@ -2,6 +2,8 @@
 
 #include "baselines/Enumerator.h"
 
+#include "support/Error.h"
+
 using namespace omega;
 
 bool omega::evaluateInBox(const Formula &F, Assignment &Values,
@@ -55,8 +57,7 @@ bool omega::evaluateInBox(const Formula &F, Assignment &Values,
     return Result;
   }
   }
-  assert(false && "unknown formula kind");
-  return false;
+  fatalError("evaluateInBox: unknown formula kind");
 }
 
 Rational omega::enumerateSum(const Formula &F,

@@ -6,8 +6,10 @@
 
 #include "counting/Summation.h"
 
+#include "analysis/Validator.h"
 #include "matrix/Matrix.h"
 #include "poly/Faulhaber.h"
+#include "support/Error.h"
 
 #include <algorithm>
 #include <set>
@@ -410,7 +412,7 @@ private:
               Rational(BigInt(1), BigInt(2));
       break;
     default:
-      assert(false && "not an approximate strategy");
+      fatalError("approximateSum called with a non-approximate strategy");
     }
     sumClause(std::move(Case), Vars, std::move(Value));
   }
@@ -591,6 +593,9 @@ PiecewiseValue omega::sumOverConjunct(const Conjunct &C, const VarSet &Vars,
   if (S.Unbounded)
     return PiecewiseValue::unbounded();
   S.Out.mergeSyntactic();
+#ifdef OMEGA_VALIDATE
+  validateOrDie(validatePiecewise(S.Out), "omega::sumOverConjunct");
+#endif
   return std::move(S.Out);
 }
 
@@ -729,6 +734,9 @@ PiecewiseValue omega::sumOverFormula(const Formula &F, const VarSet &Vars,
   mergeResidueCompletePieces(V);
   coalesceEqualValuePieces(V);
   V.mergeSyntactic();
+#ifdef OMEGA_VALIDATE
+  validateOrDie(validatePiecewise(V), "omega::sumOverFormula");
+#endif
   return V;
 }
 

@@ -10,6 +10,9 @@
 
 #include "omega/Omega.h"
 
+#include "analysis/Validator.h"
+#include "support/Error.h"
+
 #include <algorithm>
 
 using namespace omega;
@@ -94,8 +97,7 @@ public:
       std::string V = pickFourierVar(C, Targets);
       if (!fourierEliminate(std::move(C), V, std::move(Targets)))
         return; // Recursion emitted the results.
-      assert(false && "fourierEliminate must take over");
-      return;
+      fatalError("Projector: fourierEliminate must take over");
     }
   }
 
@@ -405,8 +407,23 @@ std::vector<Conjunct> omega::projectVars(const Conjunct &C,
                                          ShadowMode Mode) {
   Projector P(Mode, /*StopAfterFirst=*/false);
   P.run(C, Vars);
-  if (Mode != ShadowMode::Disjoint)
+  if (Mode != ShadowMode::Disjoint) {
+#ifdef OMEGA_VALIDATE
+    // Structural check only (the Disjoint path is validated by the
+    // makeDisjoint boundary below): projection must consume every wildcard
+    // and leave well-scoped clauses.  No oracle here — feasibility is this
+    // function's own machinery, and approximate modes may legitimately
+    // return clauses a later exact pass would prune.
+    ValidatorOptions VO;
+    VO.RequireWildcardFree = true;
+    // Outer quantifiers' alpha-renamed variables are still free here; only
+    // the top-level simplify boundary may reject free `$` names.
+    VO.AllowFreeWildcardNames = true;
+    validateOrDie(validateDnf(P.Results, std::move(VO)),
+                  "omega::projectVars");
+#endif
     return std::move(P.Results);
+  }
   // §5.2: disjoint splintering guarantees disjointness only when the last
   // elimination is the only one that splinters — disjointness in (x, z) is
   // destroyed by projecting z away.  Per the paper, convert the result to

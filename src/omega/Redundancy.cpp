@@ -8,6 +8,8 @@
 
 #include "omega/Omega.h"
 
+#include "support/Error.h"
+
 #include <algorithm>
 
 using namespace omega;
@@ -31,8 +33,7 @@ std::vector<Constraint> negateConstraint(const Constraint &K) {
     return Out;
   }
   }
-  assert(false && "unknown constraint kind");
-  return {};
+  fatalError("negateConstraint: unknown constraint kind");
 }
 
 /// True iff Ctx ∧ ¬K is infeasible, i.e. Ctx implies K.

@@ -9,6 +9,9 @@
 
 #include "omega/Omega.h"
 
+#include "analysis/Validator.h"
+#include "support/Error.h"
+
 #include <algorithm>
 #include <map>
 
@@ -56,15 +59,24 @@ Formula renameFree(const Formula &F,
     return Formula::forall(F.quantified(), std::move(Body));
   }
   }
-  assert(false && "unknown formula kind");
-  return F;
+  fatalError("renameFree: unknown formula kind");
 }
 
-/// Drops clauses that are infeasible; normalizes the rest.
+/// Drops clauses that are infeasible; normalizes the rest.  Normalization
+/// here keeps the DNF invariant that every surviving constraint is a
+/// fixpoint of Constraint::normalize() with no trivial or duplicate
+/// constraints and no unused wildcard declarations.
 void pruneInfeasible(std::vector<Conjunct> &Clauses) {
-  Clauses.erase(std::remove_if(Clauses.begin(), Clauses.end(),
-                               [](const Conjunct &C) { return !feasible(C); }),
-                Clauses.end());
+  std::vector<Conjunct> Kept;
+  Kept.reserve(Clauses.size());
+  for (Conjunct &C : Clauses) {
+    if (!normalizeConjunct(C))
+      continue;
+    C.pruneUnusedWildcards();
+    if (feasible(C))
+      Kept.push_back(std::move(C));
+  }
+  Clauses = std::move(Kept);
 }
 
 /// Cross-product conjunction of two clause unions, pruning infeasible
@@ -153,8 +165,7 @@ std::vector<Conjunct> toDNF(const Formula &F, ShadowMode Mode) {
                      F.quantified(), Formula::negation(F.body()))),
                  Mode);
   }
-  assert(false && "unknown formula kind");
-  return {};
+  fatalError("toDNF: unknown formula kind");
 }
 
 /// Removes clauses subsumed by another clause (step 1 of §5.3).
@@ -206,6 +217,23 @@ bool isArticulation(const std::vector<size_t> &Nodes,
 }
 
 std::vector<Conjunct> makeDisjointComponent(std::vector<Conjunct> Clauses);
+std::vector<Conjunct> makeDisjointImpl(std::vector<Conjunct> Clauses);
+
+#ifdef OMEGA_VALIDATE
+/// Shared boundary check: clauses out of simplify / makeDisjoint must be
+/// wildcard-free, normalized, feasible, and (when promised) disjoint.
+void validateBoundary(const std::vector<Conjunct> &Clauses, bool Disjoint,
+                      const char *Boundary) {
+  ValidatorOptions VO;
+  VO.RequireWildcardFree = true;
+  VO.RequireNormalized = true;
+  VO.RequireDisjoint = Disjoint;
+  VO.Overlaps = [](const Conjunct &A, const Conjunct &B) {
+    return feasible(Conjunct::merge(A, B));
+  };
+  validateOrDie(validateDnf(Clauses, std::move(VO)), Boundary);
+}
+#endif
 
 } // namespace
 
@@ -253,8 +281,11 @@ std::vector<Conjunct> omega::simplify(const Formula &F, SimplifyOptions Opts) {
     removeRedundant(C, /*Aggressive=*/true);
   removeSubsumed(D);
   if (Opts.Disjoint)
-    D = makeDisjoint(std::move(D));
+    D = makeDisjointImpl(std::move(D));
   coalesceClauses(D);
+#ifdef OMEGA_VALIDATE
+  validateBoundary(D, Opts.Disjoint, "omega::simplify");
+#endif
   return D;
 }
 
@@ -381,15 +412,13 @@ std::vector<Conjunct> makeDisjointComponent(std::vector<Conjunct> Clauses) {
     }
     // Groups from distinct negation pieces are disjoint; within a group,
     // recurse.
-    for (Conjunct &G : makeDisjoint(std::move(Group)))
+    for (Conjunct &G : makeDisjointImpl(std::move(Group)))
       Result.push_back(std::move(G));
   }
   return Result;
 }
 
-} // namespace
-
-std::vector<Conjunct> omega::makeDisjoint(std::vector<Conjunct> Clauses) {
+std::vector<Conjunct> makeDisjointImpl(std::vector<Conjunct> Clauses) {
   pruneInfeasible(Clauses);
   removeSubsumed(Clauses);
   if (Clauses.size() <= 1)
@@ -431,6 +460,19 @@ std::vector<Conjunct> omega::makeDisjoint(std::vector<Conjunct> Clauses) {
     for (Conjunct &C : makeDisjointComponent(std::move(Group)))
       Result.push_back(std::move(C));
   }
+  return Result;
+}
+
+} // namespace
+
+std::vector<Conjunct> omega::makeDisjoint(std::vector<Conjunct> Clauses) {
+  std::vector<Conjunct> Result = makeDisjointImpl(std::move(Clauses));
+#ifdef OMEGA_VALIDATE
+  // Validate only at the public entry: the recursion above would otherwise
+  // re-check every suffix of the clause list, turning the O(n²) overlap
+  // test into O(depth · n²).
+  validateBoundary(Result, /*Disjoint=*/true, "omega::makeDisjoint");
+#endif
   return Result;
 }
 

@@ -2,6 +2,8 @@
 
 #include "presburger/Constraint.h"
 
+#include "support/Error.h"
+
 #include <ostream>
 #include <sstream>
 
@@ -17,8 +19,7 @@ bool Constraint::holds(const Assignment &Values) const {
   case ConstraintKind::Stride:
     return Mod.divides(V);
   }
-  assert(false && "unknown constraint kind");
-  return false;
+  fatalError("Constraint::holds: unknown constraint kind");
 }
 
 bool Constraint::isTriviallyTrue() const {
@@ -101,8 +102,7 @@ bool Constraint::normalize() {
     return true;
   }
   }
-  assert(false && "unknown constraint kind");
-  return false;
+  fatalError("Constraint::normalize: unknown constraint kind");
 }
 
 std::string Constraint::toString() const {

@@ -2,6 +2,8 @@
 
 #include "presburger/Formula.h"
 
+#include "support/Error.h"
+
 #include <ostream>
 #include <sstream>
 
@@ -211,12 +213,10 @@ bool Formula::evaluate(const Assignment &Values) const {
     return !children()[0].evaluate(Values);
   case FormulaKind::Exists:
   case FormulaKind::Forall:
-    assert(false && "Formula::evaluate does not support quantifiers; use "
-                    "omega::simplify + containsPoint");
-    return false;
+    fatalError("Formula::evaluate does not support quantifiers; use "
+               "omega::simplify + containsPoint");
   }
-  assert(false && "unknown formula kind");
-  return false;
+  fatalError("Formula::evaluate: unknown formula kind");
 }
 
 static void printFormula(std::ostream &OS, const Formula &F) {

@@ -3,6 +3,7 @@
 #include "presburger/Parser.h"
 
 #include "presburger/NonLinear.h"
+#include "support/Error.h"
 
 #include <cctype>
 #include <sstream>
@@ -333,8 +334,7 @@ private:
       return Formula::disj({Formula::atom(Constraint::lt(A, B)),
                             Formula::atom(Constraint::gt(A, B))});
     default:
-      assert(false && "not a comparison");
-      return Formula::falseFormula();
+      fatalError("Parser: comparison atom built from a non-comparison token");
     }
   }
 

@@ -1,0 +1,13 @@
+//===- support/Error.cpp - Loud failure for broken invariants ------------===//
+
+#include "support/Error.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace omega;
+
+void omega::fatalError(const std::string &Message) {
+  std::cerr << "omega: fatal error: " << Message << std::endl;
+  std::abort();
+}

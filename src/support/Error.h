@@ -1,0 +1,36 @@
+//===- support/Error.h - Loud failure for broken invariants ----*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// fatalError: the replacement for release-mode-unreachable
+/// `assert(false && "...")` defaults.  An unknown enum kind or violated
+/// internal invariant means the IR is corrupt and any count produced from
+/// it is meaningless, so these paths must fail loudly in every build type —
+/// NDEBUG included — rather than silently falling through.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SUPPORT_ERROR_H
+#define OMEGA_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace omega {
+
+/// Prints `omega: fatal error: <Message>` to stderr and aborts.  Active in
+/// all build types.
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// fatalError unless \p Condition holds.  Unlike assert, survives NDEBUG;
+/// use for invariants whose violation would corrupt results.
+inline void check(bool Condition, const char *Message) {
+  if (!Condition)
+    fatalError(Message);
+}
+
+} // namespace omega
+
+#endif // OMEGA_SUPPORT_ERROR_H

@@ -1,0 +1,124 @@
+//===- tests/VerifyEdgeTest.cpp - omega/Verify.h edge cases --------------===//
+//
+// Edge coverage for the §2.4 verification entry points: wildcards via
+// explicit existentials, stride constraints, empty/trivial formulas, and
+// implication/equivalence across syntactically different shapes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Verify.h"
+
+#include "presburger/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+
+namespace {
+
+Formula parse(const char *Text) { return parseFormulaOrDie(Text); }
+
+//===----------------------------------------------------------------------===//
+// isTautology / isUnsatisfiable / isSatisfiable on trivial shapes
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyEdge, TrueAndFalseLiterals) {
+  EXPECT_TRUE(isTautology(Formula::trueFormula()));
+  EXPECT_FALSE(isSatisfiable(Formula::falseFormula()));
+  EXPECT_TRUE(isUnsatisfiable(Formula::falseFormula()));
+  EXPECT_FALSE(isTautology(Formula::falseFormula()));
+}
+
+TEST(VerifyEdge, VariableFreeAtomsFold) {
+  EXPECT_TRUE(isTautology(parse("3 <= 5")));
+  EXPECT_TRUE(isUnsatisfiable(parse("5 <= 3")));
+}
+
+TEST(VerifyEdge, TrivialConjunctIsTautology) {
+  // x = x folds to 0 = 0 at construction.
+  EXPECT_TRUE(isTautology(parse("x = x")));
+  EXPECT_TRUE(isTautology(parse("x <= x && x >= x")));
+}
+
+//===----------------------------------------------------------------------===//
+// Quantifiers and wildcards
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyEdge, ExistentialWitnessTautology) {
+  // Every integer has a successor.
+  EXPECT_TRUE(isTautology(parse("exists(y: y = x + 1)")));
+  // ... but not every integer is even.
+  EXPECT_FALSE(isTautology(parse("exists(y: x = 2*y)")));
+  EXPECT_TRUE(isSatisfiable(parse("exists(y: x = 2*y)")));
+}
+
+TEST(VerifyEdge, ForallReducesToNegatedExists) {
+  EXPECT_TRUE(isTautology(parse("forall(x: exists(y: y >= x))")));
+  EXPECT_TRUE(isUnsatisfiable(parse("forall(x: x >= c)")));
+}
+
+TEST(VerifyEdge, ImpliesBetweenExistentials) {
+  // The paper's §2.4 shape: (exists y: P) => (exists z: Q).
+  // x is a multiple of 4 => x is even.
+  EXPECT_TRUE(verifyImplies(parse("exists(y: x = 4*y)"),
+                            parse("exists(z: x = 2*z)")));
+  EXPECT_FALSE(verifyImplies(parse("exists(z: x = 2*z)"),
+                             parse("exists(y: x = 4*y)")));
+}
+
+TEST(VerifyEdge, NestedQuantifierEquivalence) {
+  // exists(y: 2y <= x <= 2y + 1) is true for every x.
+  EXPECT_TRUE(isTautology(parse("exists(y: 2*y <= x && x <= 2*y + 1)")));
+}
+
+//===----------------------------------------------------------------------===//
+// Strides
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyEdge, StrideEquivalentToExistential) {
+  EXPECT_TRUE(verifyEquivalent(parse("2 | x"), parse("exists(y: x = 2*y)")));
+  EXPECT_FALSE(verifyEquivalent(parse("2 | x"), parse("4 | x")));
+  EXPECT_TRUE(verifyImplies(parse("4 | x"), parse("2 | x")));
+}
+
+TEST(VerifyEdge, StrideResiduesCoverEverything) {
+  EXPECT_TRUE(isTautology(
+      parse("3 | x || 3 | x - 1 || 3 | x - 2")));
+  EXPECT_FALSE(isTautology(parse("3 | x || 3 | x - 1")));
+}
+
+TEST(VerifyEdge, StrideConflictUnsatisfiable) {
+  // x even and x odd.
+  EXPECT_TRUE(isUnsatisfiable(parse("2 | x && 2 | x - 1")));
+  // Chinese remainder: 2 | x, 3 | x - 1 is satisfiable (x = 4 mod 6).
+  EXPECT_TRUE(isSatisfiable(parse("2 | x && 3 | x - 1")));
+}
+
+//===----------------------------------------------------------------------===//
+// Implication / equivalence over inequality ranges
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyEdge, RangeImplication) {
+  EXPECT_TRUE(verifyImplies(parse("1 <= i && i <= n - 1"),
+                            parse("1 <= i && i <= n")));
+  EXPECT_FALSE(verifyImplies(parse("1 <= i && i <= n"),
+                             parse("1 <= i && i <= n - 1")));
+}
+
+TEST(VerifyEdge, EquivalenceModuloTightening) {
+  // 2i >= 1 over integers is i >= 1.
+  EXPECT_TRUE(verifyEquivalent(parse("2*i >= 1"), parse("i >= 1")));
+  // Splitting a range at an interior point.
+  EXPECT_TRUE(verifyEquivalent(
+      parse("0 <= i <= 9"), parse("0 <= i <= 4 || 5 <= i <= 9")));
+}
+
+TEST(VerifyEdge, ImplicationWithSymbolicContext) {
+  // n >= 5 makes the range 1..n contain 1..5.
+  EXPECT_TRUE(verifyImplies(parse("n >= 5 && 1 <= i <= 5"),
+                            parse("1 <= i <= n")));
+  EXPECT_FALSE(verifyImplies(parse("n >= 3 && 1 <= i <= 5"),
+                             parse("1 <= i <= n")));
+}
+
+} // namespace

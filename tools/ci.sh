@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# CI driver: the plain tier-1 build plus a hardened build with IR invariant
+# validation and sanitizers, running the full test suite under each.
+#
+#   tools/ci.sh [build-dir-prefix]
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+prefix=${1:-"$root/build-ci"}
+
+run_matrix() {
+  dir=$1
+  shift
+  echo "=== configure: $dir ($*)"
+  cmake -B "$dir" -S "$root" "$@"
+  echo "=== build: $dir"
+  cmake --build "$dir" -j
+  echo "=== test: $dir"
+  ctest --test-dir "$dir" --output-on-failure -j
+}
+
+# Tier 1: the default configuration every change must keep green.
+run_matrix "$prefix-default"
+
+# Hardened: boundary validation on, AddressSanitizer + UBSan.
+run_matrix "$prefix-hardened" \
+  -DOMEGA_VALIDATE=ON "-DOMEGA_SANITIZE=address;undefined"
+
+echo "=== ci: all configurations green"
