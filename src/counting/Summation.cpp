@@ -9,7 +9,9 @@
 #include "analysis/Validator.h"
 #include "matrix/Matrix.h"
 #include "poly/Faulhaber.h"
+#include "presburger/Parallel.h"
 #include "support/Error.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 #include <set>
@@ -588,6 +590,7 @@ private:
 PiecewiseValue omega::sumOverConjunct(const Conjunct &C, const VarSet &Vars,
                                       const QuasiPolynomial &X,
                                       SumOptions Opts) {
+  PhaseTimer Timer(pipelineStats().SummationNanos);
   Summer S(Opts);
   S.sumClause(C, Vars, X);
   if (S.Unbounded)
@@ -715,15 +718,32 @@ PiecewiseValue omega::sumOverFormula(const Formula &F, const VarSet &Vars,
   SOpts.Disjoint = true;
   std::vector<Conjunct> Clauses = simplify(F, SOpts);
 
-  Summer S(Opts);
-  for (const Conjunct &C : Clauses) {
-    S.sumClause(C, Vars, X);
+  // The clauses are pairwise disjoint, so each is summed by its own Summer
+  // as an independent work item; concatenating the per-clause pieces in
+  // clause order reproduces the serial single-Summer accumulation.  (The
+  // serial code stopped at the first unbounded clause; computing the rest
+  // only costs time, never changes the answer.)
+  PhaseTimer Timer(pipelineStats().SummationNanos);
+  std::vector<PiecewiseValue> Parts(Clauses.size());
+  std::vector<char> Unbounded(Clauses.size(), 0);
+  forEachDisjunct(Clauses.size(), [&](size_t I) {
+    Summer S(Opts);
+    S.sumClause(Clauses[I], Vars, X);
     if (S.Unbounded)
+      Unbounded[I] = 1;
+    else
+      Parts[I] = std::move(S.Out);
+  });
+  for (char U : Unbounded)
+    if (U)
       return PiecewiseValue::unbounded();
-  }
+
+  PiecewiseValue V;
+  for (PiecewiseValue &P : Parts)
+    for (Piece &Pc : P.pieces())
+      V.pieces().push_back(std::move(Pc));
   // Final cleanup: drop pieces whose guard is infeasible and merge equal
   // guards.
-  PiecewiseValue V = std::move(S.Out);
   auto &Pieces = V.pieces();
   Pieces.erase(std::remove_if(Pieces.begin(), Pieces.end(),
                               [](const Piece &P) {

@@ -24,6 +24,7 @@
 #include "presburger/Conjunct.h"
 #include "presburger/Formula.h"
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -121,6 +122,46 @@ std::optional<Conjunct> coalescePair(const Conjunct &A, const Conjunct &B);
 /// exactly (and disjointness, since a merged clause equals the union of
 /// the clauses it replaces).
 void coalesceClauses(std::vector<Conjunct> &Clauses);
+
+//===----------------------------------------------------------------------===//
+// Conjunct memoization (omega/Cache.cpp)
+//
+// feasible() and projectVars() memoize results in a process-wide LRU cache
+// keyed by the clause's canonical form (canonicalConjunct) — plus the
+// target-variable set and shadow mode for projection, since those change
+// the answer.  Cached values are computed from the canonical form under a
+// pinned wildcard scope, so they are pure functions of the key and safe to
+// share across threads and shadow modes (DESIGN.md §8).
+//===----------------------------------------------------------------------===//
+
+/// Aggregate statistics over the feasibility and projection caches.
+struct ConjunctCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  size_t Entries = 0; ///< Current number of cached results.
+};
+
+/// Sets the per-cache entry capacity.  0 disables memoization entirely
+/// (every query recomputes); shrinking evicts LRU entries immediately.
+void setConjunctCacheCapacity(size_t Capacity);
+size_t conjunctCacheCapacity();
+
+/// Drops all cached results and resets hit/miss/eviction counters.  Callers
+/// comparing runs (determinism tests, benchmarks) should clear between runs
+/// so each run does the same work.
+void clearConjunctCache();
+
+ConjunctCacheStats conjunctCacheStats();
+
+namespace detail {
+/// Uncached implementations (omega/Project.cpp).  The public feasible() /
+/// projectVars() wrap these with the conjunct cache; everything else should
+/// go through the public entry points.
+bool feasibleImpl(const Conjunct &C);
+std::vector<Conjunct> projectVarsImpl(const Conjunct &C, const VarSet &Vars,
+                                      ShadowMode Mode);
+} // namespace detail
 
 } // namespace omega
 

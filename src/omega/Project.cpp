@@ -12,6 +12,7 @@
 
 #include "analysis/Validator.h"
 #include "support/Error.h"
+#include "support/Stats.h"
 
 #include <algorithm>
 
@@ -322,6 +323,7 @@ private:
         AffineExpr E = L.Coef * AffineExpr::variable(V) - L.Expr -
                        AffineExpr(I);
         Spl.add(Constraint::eq(std::move(E)));
+        pipelineStats().SplintersGenerated += 1;
         run(std::move(Spl), Targets);
       }
     }
@@ -352,6 +354,7 @@ private:
           AffineExpr E = C2 * AffineExpr::variable(V) - U.Coef * L.Expr -
                          AffineExpr(I);
           Spl.add(Constraint::eq(std::move(E)));
+          pipelineStats().SplintersGenerated += 1;
           run(std::move(Spl), Targets);
         }
         return;
@@ -387,6 +390,7 @@ private:
               AffineExpr E = L.Coef * U.Coef * AffineExpr::variable(V) -
                              U.Coef * L.Expr - AffineExpr(J);
               Spl.add(Constraint::eq(std::move(E)));
+              pipelineStats().SplintersGenerated += 1;
               run(std::move(Spl), Targets);
             }
         }
@@ -402,9 +406,9 @@ private:
 
 } // namespace
 
-std::vector<Conjunct> omega::projectVars(const Conjunct &C,
-                                         const VarSet &Vars,
-                                         ShadowMode Mode) {
+std::vector<Conjunct> omega::detail::projectVarsImpl(const Conjunct &C,
+                                                     const VarSet &Vars,
+                                                     ShadowMode Mode) {
   Projector P(Mode, /*StopAfterFirst=*/false);
   P.run(C, Vars);
   if (Mode != ShadowMode::Disjoint) {
@@ -431,7 +435,7 @@ std::vector<Conjunct> omega::projectVars(const Conjunct &C,
   return makeDisjoint(std::move(P.Results));
 }
 
-bool omega::feasible(const Conjunct &C) {
+bool omega::detail::feasibleImpl(const Conjunct &C) {
   Projector P(ShadowMode::Exact, /*StopAfterFirst=*/true);
   P.run(C, C.mentionedVars());
   return !P.Results.empty();

@@ -10,10 +10,15 @@
 #include "omega/Omega.h"
 
 #include "analysis/Validator.h"
+#include "presburger/Parallel.h"
 #include "support/Error.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <map>
+#include <optional>
+#include <thread>
 
 using namespace omega;
 
@@ -67,15 +72,21 @@ Formula renameFree(const Formula &F,
 /// fixpoint of Constraint::normalize() with no trivial or duplicate
 /// constraints and no unused wildcard declarations.
 void pruneInfeasible(std::vector<Conjunct> &Clauses) {
+  // Per-clause feasibility tests are independent; survivors are compacted
+  // in index order, matching the serial loop.
+  std::vector<char> Keep(Clauses.size(), 0);
+  forEachDisjunct(Clauses.size(), [&](size_t I) {
+    if (!normalizeConjunct(Clauses[I]))
+      return;
+    Clauses[I].pruneUnusedWildcards();
+    if (feasible(Clauses[I]))
+      Keep[I] = 1;
+  });
   std::vector<Conjunct> Kept;
   Kept.reserve(Clauses.size());
-  for (Conjunct &C : Clauses) {
-    if (!normalizeConjunct(C))
-      continue;
-    C.pruneUnusedWildcards();
-    if (feasible(C))
-      Kept.push_back(std::move(C));
-  }
+  for (size_t I = 0; I < Clauses.size(); ++I)
+    if (Keep[I])
+      Kept.push_back(std::move(Clauses[I]));
   Clauses = std::move(Kept);
 }
 
@@ -83,13 +94,20 @@ void pruneInfeasible(std::vector<Conjunct> &Clauses) {
 /// combinations as they are built.
 std::vector<Conjunct> crossConjoin(const std::vector<Conjunct> &A,
                                    const std::vector<Conjunct> &B) {
+  if (A.empty() || B.empty())
+    return {};
+  // Row-major pair index space; each feasible merge lands in its own slot,
+  // so compacting the slots reproduces the serial double-loop order.
+  std::vector<std::optional<Conjunct>> Merged(A.size() * B.size());
+  forEachDisjunct(Merged.size(), [&](size_t I) {
+    Conjunct M = Conjunct::merge(A[I / B.size()], B[I % B.size()]);
+    if (feasible(M))
+      Merged[I] = std::move(M);
+  });
   std::vector<Conjunct> Out;
-  for (const Conjunct &CA : A)
-    for (const Conjunct &CB : B) {
-      Conjunct M = Conjunct::merge(CA, CB);
-      if (feasible(M))
-        Out.push_back(std::move(M));
-    }
+  for (std::optional<Conjunct> &M : Merged)
+    if (M)
+      Out.push_back(std::move(*M));
   return Out;
 }
 
@@ -128,12 +146,16 @@ std::vector<Conjunct> toDNF(const Formula &F, ShadowMode Mode) {
     return Acc;
   }
   case FormulaKind::Or: {
+    // Disjunction children lower independently; concatenating the
+    // per-child slots in index order matches the serial accumulation.
+    const std::vector<Formula> &Kids = F.children();
+    std::vector<std::vector<Conjunct>> Parts(Kids.size());
+    forEachDisjunct(Kids.size(),
+                    [&](size_t I) { Parts[I] = toDNF(Kids[I], Mode); });
     std::vector<Conjunct> Acc;
-    for (const Formula &Child : F.children()) {
-      std::vector<Conjunct> D = toDNF(Child, Mode);
+    for (std::vector<Conjunct> &D : Parts)
       Acc.insert(Acc.end(), std::make_move_iterator(D.begin()),
                  std::make_move_iterator(D.end()));
-    }
     return Acc;
   }
   case FormulaKind::Not: {
@@ -153,10 +175,15 @@ std::vector<Conjunct> toDNF(const Formula &F, ShadowMode Mode) {
       Fresh.insert(W);
     }
     std::vector<Conjunct> Body = toDNF(renameFree(F.body(), Map), Mode);
+    // Each body clause projects independently.
+    std::vector<std::vector<Conjunct>> Parts(Body.size());
+    forEachDisjunct(Body.size(), [&](size_t I) {
+      Parts[I] = projectVars(Body[I], Fresh, Mode);
+    });
     std::vector<Conjunct> Out;
-    for (const Conjunct &C : Body)
-      for (Conjunct &P : projectVars(C, Fresh, Mode))
-        Out.push_back(std::move(P));
+    for (std::vector<Conjunct> &P : Parts)
+      Out.insert(Out.end(), std::make_move_iterator(P.begin()),
+                 std::make_move_iterator(P.end()));
     return Out;
   }
   case FormulaKind::Forall:
@@ -219,6 +246,25 @@ bool isArticulation(const std::vector<size_t> &Nodes,
 std::vector<Conjunct> makeDisjointComponent(std::vector<Conjunct> Clauses);
 std::vector<Conjunct> makeDisjointImpl(std::vector<Conjunct> Clauses);
 
+/// Builds the symmetric clause-overlap graph (edge iff two clauses share an
+/// integer point).  Each row's pair tests run as one fan-out task; task I
+/// writes only row I, and the lower triangle is mirrored afterwards.
+std::vector<std::vector<bool>>
+overlapGraph(const std::vector<Conjunct> &Clauses) {
+  size_t N = Clauses.size();
+  std::vector<std::vector<bool>> Adj(N, std::vector<bool>(N, false));
+  forEachDisjunct(N, [&](size_t I) {
+    for (size_t J = I + 1; J < N; ++J)
+      if (feasible(Conjunct::merge(Clauses[I], Clauses[J])))
+        Adj[I][J] = true;
+  });
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J)
+      if (Adj[I][J])
+        Adj[J][I] = true;
+  return Adj;
+}
+
 #ifdef OMEGA_VALIDATE
 /// Shared boundary check: clauses out of simplify / makeDisjoint must be
 /// wildcard-free, normalized, feasible, and (when promised) disjoint.
@@ -275,13 +321,21 @@ std::vector<Conjunct> omega::negateConjunct(const Conjunct &C) {
 std::vector<Conjunct> omega::simplify(const Formula &F, SimplifyOptions Opts) {
   assert((!Opts.Disjoint || Opts.Mode == ShadowMode::Exact) &&
          "disjoint DNF requires exact simplification");
-  std::vector<Conjunct> D = toDNF(F, Opts.Mode);
-  pruneInfeasible(D);
-  for (Conjunct &C : D)
-    removeRedundant(C, /*Aggressive=*/true);
-  removeSubsumed(D);
-  if (Opts.Disjoint)
+  std::vector<Conjunct> D;
+  {
+    PhaseTimer Timer(pipelineStats().SimplifyNanos);
+    D = toDNF(F, Opts.Mode);
+    pruneInfeasible(D);
+    pipelineStats().ClausesSimplified += D.size();
+    forEachDisjunct(D.size(), [&](size_t I) {
+      removeRedundant(D[I], /*Aggressive=*/true);
+    });
+    removeSubsumed(D);
+  }
+  if (Opts.Disjoint) {
+    PhaseTimer Timer(pipelineStats().DisjointNanos);
     D = makeDisjointImpl(std::move(D));
+  }
   coalesceClauses(D);
 #ifdef OMEGA_VALIDATE
   validateBoundary(D, Opts.Disjoint, "omega::simplify");
@@ -327,6 +381,32 @@ std::optional<Conjunct> omega::coalescePair(const Conjunct &A,
 }
 
 void omega::coalesceClauses(std::vector<Conjunct> &Clauses) {
+  PhaseTimer Timer(pipelineStats().CoalesceNanos);
+  // With workers and the cache available, evaluate every initial pair in
+  // parallel first and discard the results: coalescePair routes all of its
+  // reasoning through the memoized feasible()/implies(), so the serial
+  // scan below replays against a warm cache.  The prepass only populates
+  // the cache (whose values are pure functions of their keys), so the
+  // result is identical with and without it — a scheduling optimization
+  // only.  It deliberately does NOT go through forEachDisjunct: that would
+  // consume a deterministic batch prefix only when workers are enabled,
+  // shifting every later wildcard name.  Instead each row runs under a
+  // private "warm" scope, outside the deterministic namespace, which is
+  // safe because nothing here escapes into results.  On a single hardware
+  // core the prepass is the same work run twice, so it is skipped — again
+  // without affecting results.
+  if (workerCount() >= 2 && std::thread::hardware_concurrency() >= 2 &&
+      conjunctCacheCapacity() > 0 && Clauses.size() > 2 &&
+      !wildcardScopeActive() && !ThreadPool::onWorkerThread()) {
+    size_t N = Clauses.size();
+    pipelineStats().ParallelBatches += 1;
+    pipelineStats().ParallelTasks += N;
+    ThreadPool::instance().run(N, [&](size_t I) {
+      WildcardScope Scope("warm" + std::to_string(I));
+      for (size_t J = I + 1; J < N; ++J)
+        (void)coalescePair(Clauses[I], Clauses[J]);
+    });
+  }
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -358,11 +438,7 @@ std::vector<Conjunct> makeDisjointComponent(std::vector<Conjunct> Clauses) {
 
   // Rebuild the overlap graph for this component.
   size_t N = Clauses.size();
-  std::vector<std::vector<bool>> Adj(N, std::vector<bool>(N, false));
-  for (size_t I = 0; I < N; ++I)
-    for (size_t J = I + 1; J < N; ++J)
-      if (feasible(Conjunct::merge(Clauses[I], Clauses[J])))
-        Adj[I][J] = Adj[J][I] = true;
+  std::vector<std::vector<bool>> Adj = overlapGraph(Clauses);
 
   std::vector<size_t> Nodes(N);
   for (size_t I = 0; I < N; ++I)
@@ -400,21 +476,28 @@ std::vector<Conjunct> makeDisjointComponent(std::vector<Conjunct> Clauses) {
       Reduced.add(std::move(K));
   }
 
-  std::vector<Conjunct> Result{std::move(C1)};
-  for (const Conjunct &Piece : negateConjunct(Reduced)) {
+  // Groups from distinct negation pieces are disjoint, so each piece's
+  // intersection-and-recursion is an independent work item; groups are
+  // appended in piece order, matching the serial loop.
+  std::vector<Conjunct> Pieces = negateConjunct(Reduced);
+  std::vector<std::vector<Conjunct>> Groups(Pieces.size());
+  forEachDisjunct(Pieces.size(), [&](size_t PI) {
     std::vector<Conjunct> Group;
     for (const Conjunct &Cj : Clauses) {
-      Conjunct M = Conjunct::merge(Cj, Piece);
+      Conjunct M = Conjunct::merge(Cj, Pieces[PI]);
       if (feasible(M)) {
         removeRedundant(M, /*Aggressive=*/true);
         Group.push_back(std::move(M));
       }
     }
-    // Groups from distinct negation pieces are disjoint; within a group,
-    // recurse.
-    for (Conjunct &G : makeDisjointImpl(std::move(Group)))
-      Result.push_back(std::move(G));
-  }
+    // Within a group, recurse.
+    Groups[PI] = makeDisjointImpl(std::move(Group));
+  });
+
+  std::vector<Conjunct> Result{std::move(C1)};
+  for (std::vector<Conjunct> &Group : Groups)
+    Result.insert(Result.end(), std::make_move_iterator(Group.begin()),
+                  std::make_move_iterator(Group.end()));
   return Result;
 }
 
@@ -426,11 +509,7 @@ std::vector<Conjunct> makeDisjointImpl(std::vector<Conjunct> Clauses) {
 
   // Step 2: connected components of the overlap graph.
   size_t N = Clauses.size();
-  std::vector<std::vector<bool>> Adj(N, std::vector<bool>(N, false));
-  for (size_t I = 0; I < N; ++I)
-    for (size_t J = I + 1; J < N; ++J)
-      if (feasible(Conjunct::merge(Clauses[I], Clauses[J])))
-        Adj[I][J] = Adj[J][I] = true;
+  std::vector<std::vector<bool>> Adj = overlapGraph(Clauses);
 
   std::vector<int> Comp(N, -1);
   int NumComps = 0;
@@ -466,6 +545,7 @@ std::vector<Conjunct> makeDisjointImpl(std::vector<Conjunct> Clauses) {
 } // namespace
 
 std::vector<Conjunct> omega::makeDisjoint(std::vector<Conjunct> Clauses) {
+  PhaseTimer Timer(pipelineStats().DisjointNanos);
   std::vector<Conjunct> Result = makeDisjointImpl(std::move(Clauses));
 #ifdef OMEGA_VALIDATE
   // Validate only at the public entry: the recursion above would otherwise

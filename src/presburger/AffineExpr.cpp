@@ -8,9 +8,55 @@
 
 using namespace omega;
 
+namespace {
+
+/// Per-thread scope for deterministic wildcard naming (see WildcardScope).
+struct ScopeState {
+  std::string Prefix;
+  unsigned Counter = 0; ///< Next "$<Prefix>x<n>" suffix.
+  unsigned Batches = 0; ///< Next nested fan-out batch id.
+  ScopeState *Prev = nullptr;
+};
+
+thread_local ScopeState *CurScope = nullptr;
+std::atomic<unsigned> GlobalCounter{0};
+std::atomic<unsigned> GlobalBatches{0};
+
+} // namespace
+
 std::string omega::freshWildcard() {
-  static std::atomic<unsigned> Counter{0};
-  return "$" + std::to_string(Counter.fetch_add(1));
+  if (ScopeState *S = CurScope)
+    return "$" + S->Prefix + "x" + std::to_string(S->Counter++);
+  return "$" + std::to_string(GlobalCounter.fetch_add(1));
+}
+
+WildcardScope::WildcardScope(const std::string &Prefix) {
+  auto *S = new ScopeState;
+  S->Prefix = Prefix;
+  S->Prev = CurScope;
+  CurScope = S;
+  State = S;
+}
+
+WildcardScope::~WildcardScope() {
+  auto *S = static_cast<ScopeState *>(State);
+  assert(CurScope == S && "wildcard scopes must nest strictly");
+  CurScope = S->Prev;
+  delete S;
+}
+
+bool omega::wildcardScopeActive() { return CurScope != nullptr; }
+
+std::string omega::nextWildcardBatchPrefix() {
+  if (ScopeState *S = CurScope)
+    return S->Prefix + "b" + std::to_string(S->Batches++);
+  return "g" + std::to_string(GlobalBatches.fetch_add(1));
+}
+
+void omega::resetWildcardState() {
+  assert(!CurScope && "cannot reset wildcard state inside a scope");
+  GlobalCounter.store(0);
+  GlobalBatches.store(0);
 }
 
 void AffineExpr::setCoeff(const std::string &Name, BigInt C) {

@@ -127,3 +127,43 @@ std::string Conjunct::toString() const {
 std::ostream &omega::operator<<(std::ostream &OS, const Conjunct &C) {
   return OS << C.toString();
 }
+
+CanonicalConjunct omega::canonicalConjunct(const Conjunct &In) {
+  CanonicalConjunct Out;
+  std::vector<Constraint> Ks;
+  Ks.reserve(In.constraints().size());
+  for (const Constraint &K : In.constraints()) {
+    Constraint N = K;
+    if (!N.normalize() || N.isTriviallyFalse()) {
+      Out.C = Conjunct();
+      Out.C.add(Constraint::ge(AffineExpr(-1)));
+      Out.Key = "UNSAT";
+      return Out;
+    }
+    if (N.isTriviallyTrue())
+      continue;
+    Ks.push_back(std::move(N));
+  }
+  std::sort(Ks.begin(), Ks.end());
+  Ks.erase(std::unique(Ks.begin(), Ks.end()), Ks.end());
+
+  std::ostringstream Key;
+  for (Constraint &K : Ks) {
+    Key << static_cast<int>(K.kind()) << '|';
+    if (K.isStride())
+      Key << K.modulus() << '|';
+    Key << K.expr().toString() << '&';
+    Out.C.add(std::move(K));
+  }
+  // Only wildcards the canonical constraints still mention are part of the
+  // clause's meaning (and of the key).
+  VarSet Used = Out.C.mentionedVars();
+  Key << "W:";
+  for (const std::string &W : In.wildcards())
+    if (Used.count(W)) {
+      Out.C.addWildcard(W);
+      Key << W << ',';
+    }
+  Out.Key = Key.str();
+  return Out;
+}

@@ -95,6 +95,26 @@ private:
 
 std::ostream &operator<<(std::ostream &OS, const Conjunct &C);
 
+/// A memoization-ready form of a clause plus its cache key.
+///
+/// The canonical form has every constraint normalized (GCD-reduced,
+/// inequality-tightened, stride-reduced — Constraint::normalize),
+/// trivially-true constraints and duplicates dropped, the rest sorted, and
+/// unused wildcard declarations pruned; a clause normalization proves
+/// infeasible collapses to the canonical false clause `{ -1 >= 0 }` with
+/// key "UNSAT".  All of these are semantics-preserving rewrites, so equal
+/// keys imply semantically equal clauses — the soundness condition for
+/// reusing a memoized result (DESIGN.md §8).  Clauses that differ only in
+/// constraint order or in un-normalized coefficient scaling share a key;
+/// alpha-variants (same clause, different wildcard names) do not, which
+/// costs cache capacity but never correctness.
+struct CanonicalConjunct {
+  Conjunct C;      ///< The canonical form; semantically equal to the input.
+  std::string Key; ///< Equal keys imply semantically equal clauses.
+};
+
+CanonicalConjunct canonicalConjunct(const Conjunct &In);
+
 } // namespace omega
 
 #endif // OMEGA_PRESBURGER_CONJUNCT_H

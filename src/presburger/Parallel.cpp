@@ -1,0 +1,35 @@
+//===- presburger/Parallel.cpp - Deterministic disjunct fan-out ----------===//
+
+#include "presburger/Parallel.h"
+
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+using namespace omega;
+
+void omega::forEachDisjunct(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  // The batch prefix is allocated on the calling thread, so its sequence —
+  // and therefore every scope prefix below — is independent of the worker
+  // count.
+  const std::string Base = nextWildcardBatchPrefix();
+  auto RunOne = [&](size_t I) {
+    WildcardScope Scope(Base + "t" + std::to_string(I));
+    Fn(I);
+  };
+  // Fan out only at top level: nested batches (scope already active) and
+  // batches issued from a worker run inline, keeping the pool
+  // non-reentrant.  The N > 1 cutoff is data-dependent, never
+  // schedule-dependent, so it cannot break determinism.
+  bool Parallel = N > 1 && workerCount() >= 2 && !wildcardScopeActive() &&
+                  !ThreadPool::onWorkerThread();
+  if (!Parallel) {
+    for (size_t I = 0; I < N; ++I)
+      RunOne(I);
+    return;
+  }
+  pipelineStats().ParallelBatches += 1;
+  pipelineStats().ParallelTasks += N;
+  ThreadPool::instance().run(N, RunOne);
+}

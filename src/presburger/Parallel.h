@@ -1,0 +1,53 @@
+//===- presburger/Parallel.h - Deterministic disjunct fan-out --*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fan-out primitive of the parallel pipeline: run N independent
+/// disjunct work items — DNF clauses to simplify, splinter groups to make
+/// disjoint, clauses to sum — either inline or on the worker pool, with
+/// *bit-identical results for every worker count* (DESIGN.md §8).
+///
+/// Determinism contract: every item runs under a WildcardScope whose
+/// prefix encodes only the item's position in the fan-out tree, so the
+/// wildcard names an item mints (the one global side channel in the
+/// pipeline) do not depend on scheduling.  Items must write their output
+/// to per-index slots; callers assemble the slots in index order.  Nested
+/// fan-outs (an item that fans out again) always run inline, which keeps
+/// the pool non-reentrant and the nesting deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_PRESBURGER_PARALLEL_H
+#define OMEGA_PRESBURGER_PARALLEL_H
+
+#include "presburger/Var.h"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace omega {
+
+/// Runs Fn(0..N-1), each index under its own deterministic WildcardScope.
+/// Uses the worker pool when setWorkerCount() >= 2 and this is a top-level
+/// fan-out (no scope active on the calling thread); otherwise runs the
+/// items inline in index order.  Fn must only touch shared state through
+/// per-index slots or thread-safe structures (the conjunct cache, the
+/// pipeline stats).
+void forEachDisjunct(size_t N, const std::function<void(size_t)> &Fn);
+
+/// Convenience: maps Fn over 0..N-1 into a vector, preserving index order.
+/// T must be default-constructible.
+template <typename T>
+std::vector<T> mapDisjuncts(size_t N, const std::function<T(size_t)> &Fn) {
+  std::vector<T> Out(N);
+  forEachDisjunct(N, [&](size_t I) { Out[I] = Fn(I); });
+  return Out;
+}
+
+} // namespace omega
+
+#endif // OMEGA_PRESBURGER_PARALLEL_H

@@ -32,13 +32,49 @@ using VarSet = std::set<std::string>;
 /// A concrete integer valuation of variables.
 using Assignment = std::map<std::string, BigInt>;
 
-/// Returns a process-unique wildcard name "$<n>".
+/// Returns a process-unique wildcard name "$<n>", or a scope-local name
+/// "$<prefix>x<n>" while a WildcardScope is active on the calling thread.
 std::string freshWildcard();
 
 /// Returns true for names produced by freshWildcard().
 inline bool isWildcardName(const std::string &Name) {
   return !Name.empty() && Name[0] == '$';
 }
+
+/// RAII: routes freshWildcard() on the calling thread into a private
+/// namespace "$<Prefix>x0, $<Prefix>x1, ...".
+///
+/// This is the determinism backbone of the parallel pipeline (DESIGN.md
+/// §8): a fan-out gives every independent work item its own scope whose
+/// prefix depends only on the item's position in the fan-out tree, never
+/// on which thread runs it or in what order — so the names an item mints
+/// are identical whether the batch runs serially or on the worker pool.
+/// Scopes nest (the previous scope is restored on destruction) and are
+/// cheap enough to enter per work item.
+class WildcardScope {
+public:
+  explicit WildcardScope(const std::string &Prefix);
+  ~WildcardScope();
+  WildcardScope(const WildcardScope &) = delete;
+  WildcardScope &operator=(const WildcardScope &) = delete;
+
+private:
+  void *State; ///< Opaque ScopeState, chained to the previous scope.
+};
+
+/// True iff a WildcardScope is active on the calling thread (i.e. we are
+/// inside a fan-out work item or a memoized computation).
+bool wildcardScopeActive();
+
+/// Allocates the next deterministic fan-out batch prefix: scope-local when
+/// a scope is active ("<scope>b<k>"), otherwise process-global ("g<k>").
+std::string nextWildcardBatchPrefix();
+
+/// Resets the process-global wildcard and batch counters to zero so a
+/// repeated run mints identical names.  Test/bench hook only: existing
+/// clauses keep their names, so mixing objects from before and after a
+/// reset can capture wildcards.  Must be called with no scope active.
+void resetWildcardState();
 
 } // namespace omega
 

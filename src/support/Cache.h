@@ -1,0 +1,136 @@
+//===- support/Cache.h - Bounded thread-safe LRU cache ---------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mutex-protected, bounded, least-recently-used cache from string keys
+/// to values, with hit/miss/eviction counters.  The omega layer builds its
+/// conjunct memoization (feasibility and projection results keyed by
+/// canonical clause form) on top of this; see omega/Omega.h and DESIGN.md
+/// §8 for what is and is not safe to memoize.
+///
+/// Values must be safe to copy out under the lock (the cache hands back
+/// copies, never references, so entries can be evicted at any time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SUPPORT_CACHE_H
+#define OMEGA_SUPPORT_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace omega {
+
+/// Counter snapshot for one cache.
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+/// Bounded LRU map<string, Value>.  A capacity of 0 disables the cache:
+/// every lookup misses (uncounted) and inserts are dropped.
+template <typename Value> class LruCache {
+public:
+  explicit LruCache(size_t Capacity) : Cap(Capacity) {}
+
+  /// Returns a copy of the cached value and refreshes its recency, or
+  /// nullopt on a miss.
+  std::optional<Value> lookup(const std::string &Key) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Cap == 0)
+      return std::nullopt;
+    auto It = Map.find(Key);
+    if (It == Map.end()) {
+      ++St.Misses;
+      return std::nullopt;
+    }
+    Order.splice(Order.begin(), Order, It->second);
+    ++St.Hits;
+    return It->second->second;
+  }
+
+  /// Inserts (or refreshes) Key -> V, evicting least-recently-used entries
+  /// beyond capacity.  Returns the number of entries evicted.
+  size_t insert(const std::string &Key, Value V) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Cap == 0)
+      return 0;
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      // Racing computations of the same key produce equal values (keys
+      // determine results); keep the existing entry, refresh recency.
+      Order.splice(Order.begin(), Order, It->second);
+      return 0;
+    }
+    Order.emplace_front(Key, std::move(V));
+    Map.emplace(Key, Order.begin());
+    size_t Evicted = 0;
+    while (Map.size() > Cap) {
+      Map.erase(Order.back().first);
+      Order.pop_back();
+      ++Evicted;
+    }
+    St.Evictions += Evicted;
+    return Evicted;
+  }
+
+  void setCapacity(size_t Capacity) {
+    std::lock_guard<std::mutex> Lock(M);
+    Cap = Capacity;
+    while (Map.size() > Cap) {
+      Map.erase(Order.back().first);
+      Order.pop_back();
+      ++St.Evictions;
+    }
+  }
+
+  size_t capacity() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Cap;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Map.size();
+  }
+
+  /// Drops all entries (counters are kept; see resetStats).
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    Map.clear();
+    Order.clear();
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return St;
+  }
+
+  void resetStats() {
+    std::lock_guard<std::mutex> Lock(M);
+    St = CacheStats();
+  }
+
+private:
+  mutable std::mutex M;
+  size_t Cap;
+  std::list<std::pair<std::string, Value>> Order; ///< Front = most recent.
+  std::unordered_map<std::string,
+                     typename std::list<std::pair<std::string, Value>>::
+                         iterator>
+      Map;
+  CacheStats St;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SUPPORT_CACHE_H

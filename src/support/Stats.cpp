@@ -1,0 +1,92 @@
+//===- support/Stats.cpp - Pipeline observability counters ---------------===//
+
+#include "support/Stats.h"
+
+#include <sstream>
+
+using namespace omega;
+
+void PipelineCounters::reset() {
+  FeasibilityTests = 0;
+  ProjectionCalls = 0;
+  ClausesSimplified = 0;
+  SplintersGenerated = 0;
+  CacheHits = 0;
+  CacheMisses = 0;
+  CacheEvictions = 0;
+  ParallelBatches = 0;
+  ParallelTasks = 0;
+  SimplifyNanos = 0;
+  DisjointNanos = 0;
+  CoalesceNanos = 0;
+  SummationNanos = 0;
+}
+
+PipelineCounters &omega::pipelineStats() {
+  static PipelineCounters Counters;
+  return Counters;
+}
+
+PipelineStatsSnapshot omega::snapshotPipelineStats() {
+  PipelineCounters &C = pipelineStats();
+  PipelineStatsSnapshot S;
+  S.FeasibilityTests = C.FeasibilityTests.load();
+  S.ProjectionCalls = C.ProjectionCalls.load();
+  S.ClausesSimplified = C.ClausesSimplified.load();
+  S.SplintersGenerated = C.SplintersGenerated.load();
+  S.CacheHits = C.CacheHits.load();
+  S.CacheMisses = C.CacheMisses.load();
+  S.CacheEvictions = C.CacheEvictions.load();
+  S.ParallelBatches = C.ParallelBatches.load();
+  S.ParallelTasks = C.ParallelTasks.load();
+  S.SimplifyNanos = C.SimplifyNanos.load();
+  S.DisjointNanos = C.DisjointNanos.load();
+  S.CoalesceNanos = C.CoalesceNanos.load();
+  S.SummationNanos = C.SummationNanos.load();
+  return S;
+}
+
+namespace {
+double ms(uint64_t Nanos) { return static_cast<double>(Nanos) / 1e6; }
+} // namespace
+
+std::string PipelineStatsSnapshot::toPretty() const {
+  std::ostringstream OS;
+  uint64_t Lookups = CacheHits + CacheMisses;
+  OS << "pipeline stats:\n"
+     << "  feasibility tests:   " << FeasibilityTests << "\n"
+     << "  projection calls:    " << ProjectionCalls << "\n"
+     << "  clauses simplified:  " << ClausesSimplified << "\n"
+     << "  splinters generated: " << SplintersGenerated << "\n"
+     << "  cache hits/misses:   " << CacheHits << "/" << CacheMisses;
+  if (Lookups)
+    OS << " (" << (100 * CacheHits / Lookups) << "% hit)";
+  OS << "\n"
+     << "  cache evictions:     " << CacheEvictions << "\n"
+     << "  parallel batches:    " << ParallelBatches << " (" << ParallelTasks
+     << " tasks)\n"
+     << "  simplify time:       " << ms(SimplifyNanos) << " ms\n"
+     << "  disjoint time:       " << ms(DisjointNanos) << " ms\n"
+     << "  coalesce time:       " << ms(CoalesceNanos) << " ms\n"
+     << "  summation time:      " << ms(SummationNanos) << " ms\n";
+  return OS.str();
+}
+
+std::string PipelineStatsSnapshot::toJson() const {
+  std::ostringstream OS;
+  OS << "{"
+     << "\"feasibility_tests\": " << FeasibilityTests << ", "
+     << "\"projection_calls\": " << ProjectionCalls << ", "
+     << "\"clauses_simplified\": " << ClausesSimplified << ", "
+     << "\"splinters_generated\": " << SplintersGenerated << ", "
+     << "\"cache_hits\": " << CacheHits << ", "
+     << "\"cache_misses\": " << CacheMisses << ", "
+     << "\"cache_evictions\": " << CacheEvictions << ", "
+     << "\"parallel_batches\": " << ParallelBatches << ", "
+     << "\"parallel_tasks\": " << ParallelTasks << ", "
+     << "\"simplify_ms\": " << ms(SimplifyNanos) << ", "
+     << "\"disjoint_ms\": " << ms(DisjointNanos) << ", "
+     << "\"coalesce_ms\": " << ms(CoalesceNanos) << ", "
+     << "\"summation_ms\": " << ms(SummationNanos) << "}";
+  return OS.str();
+}

@@ -1,0 +1,94 @@
+//===- support/Stats.h - Pipeline observability counters -------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide observability for the counting pipeline: cache hit/miss
+/// rates, clause and splinter volumes, parallel fan-out counts, and
+/// cumulative wall time per pipeline phase.  Counters are atomics so the
+/// worker pool can bump them without coordination; timers are cumulative
+/// across nested and concurrent invocations (a phase entered from four
+/// workers at once accrues roughly 4x wall time — read them as cost
+/// attribution, not elapsed time).
+///
+/// `omegacount --stats` / `omegalint --stats` print the human-readable
+/// form; bench_pipeline emits the JSON form for BENCH_*.json trajectories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SUPPORT_STATS_H
+#define OMEGA_SUPPORT_STATS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace omega {
+
+/// The live (atomic) counter set.  Use snapshotPipelineStats() to read.
+struct PipelineCounters {
+  // Work volume.
+  std::atomic<uint64_t> FeasibilityTests{0};
+  std::atomic<uint64_t> ProjectionCalls{0};
+  std::atomic<uint64_t> ClausesSimplified{0};
+  std::atomic<uint64_t> SplintersGenerated{0};
+  // Conjunct cache.
+  std::atomic<uint64_t> CacheHits{0};
+  std::atomic<uint64_t> CacheMisses{0};
+  std::atomic<uint64_t> CacheEvictions{0};
+  // Fan-out.
+  std::atomic<uint64_t> ParallelBatches{0};
+  std::atomic<uint64_t> ParallelTasks{0};
+  // Cumulative wall time per phase, in nanoseconds.
+  std::atomic<uint64_t> SimplifyNanos{0};
+  std::atomic<uint64_t> DisjointNanos{0};
+  std::atomic<uint64_t> CoalesceNanos{0};
+  std::atomic<uint64_t> SummationNanos{0};
+
+  void reset();
+};
+
+/// The process-wide counter instance.
+PipelineCounters &pipelineStats();
+
+/// A plain copy of the counters at one instant.
+struct PipelineStatsSnapshot {
+  uint64_t FeasibilityTests, ProjectionCalls, ClausesSimplified,
+      SplintersGenerated;
+  uint64_t CacheHits, CacheMisses, CacheEvictions;
+  uint64_t ParallelBatches, ParallelTasks;
+  uint64_t SimplifyNanos, DisjointNanos, CoalesceNanos, SummationNanos;
+
+  /// One-line-per-counter human form (for --stats).
+  std::string toPretty() const;
+  /// Single JSON object (for bench_pipeline / BENCH_*.json).
+  std::string toJson() const;
+};
+
+PipelineStatsSnapshot snapshotPipelineStats();
+
+/// RAII: adds the elapsed wall time to one of the phase counters.
+class PhaseTimer {
+public:
+  explicit PhaseTimer(std::atomic<uint64_t> &Target)
+      : Target(Target), Start(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    auto End = std::chrono::steady_clock::now();
+    Target += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+            .count());
+  }
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+private:
+  std::atomic<uint64_t> &Target;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SUPPORT_STATS_H

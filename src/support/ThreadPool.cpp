@@ -1,0 +1,132 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool -------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+
+#ifdef OMEGA_PARALLEL
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+#endif
+
+using namespace omega;
+
+namespace {
+std::atomic<unsigned> Workers{0};
+thread_local bool IsWorkerThread = false;
+} // namespace
+
+void omega::setWorkerCount(unsigned N) { Workers.store(N); }
+
+unsigned omega::workerCount() { return Workers.load(); }
+
+bool ThreadPool::onWorkerThread() { return IsWorkerThread; }
+
+#ifdef OMEGA_PARALLEL
+
+struct ThreadPool::Impl {
+  std::mutex M;
+  std::condition_variable WorkCv;
+  std::condition_variable DoneCv;
+  std::vector<std::thread> Threads;
+
+  // The current batch.  Fn is non-null while a batch is active; workers
+  // claim indices from Next and count completions into Done.
+  const std::function<void(size_t)> *Fn = nullptr;
+  size_t N = 0;
+  size_t Next = 0;
+  size_t Done = 0;
+  std::exception_ptr FirstError;
+  bool Shutdown = false;
+
+  void workerLoop() {
+    IsWorkerThread = true;
+    std::unique_lock<std::mutex> Lock(M);
+    while (true) {
+      WorkCv.wait(Lock, [&] { return Shutdown || (Fn && Next < N); });
+      if (Shutdown)
+        return;
+      size_t I = Next++;
+      const std::function<void(size_t)> *Job = Fn;
+      Lock.unlock();
+      std::exception_ptr Err;
+      try {
+        (*Job)(I);
+      } catch (...) {
+        Err = std::current_exception();
+      }
+      Lock.lock();
+      if (Err && !FirstError)
+        FirstError = Err;
+      if (++Done == N)
+        DoneCv.notify_all();
+    }
+  }
+
+  void ensureThreads(unsigned Count) {
+    while (Threads.size() < Count)
+      Threads.emplace_back([this] { workerLoop(); });
+  }
+};
+
+ThreadPool::ThreadPool() : P(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(P->M);
+    P->Shutdown = true;
+  }
+  P->WorkCv.notify_all();
+  for (std::thread &T : P->Threads)
+    T.join();
+  delete P;
+}
+
+void ThreadPool::run(size_t N, const std::function<void(size_t)> &Fn) {
+  unsigned W = workerCount();
+  if (N == 0)
+    return;
+  if (W < 2 || IsWorkerThread) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  std::exception_ptr Err;
+  {
+    std::unique_lock<std::mutex> Lock(P->M);
+    P->ensureThreads(W);
+    P->Fn = &Fn;
+    P->N = N;
+    P->Next = 0;
+    P->Done = 0;
+    P->FirstError = nullptr;
+    P->WorkCv.notify_all();
+    P->DoneCv.wait(Lock, [&] { return P->Done == P->N; });
+    P->Fn = nullptr;
+    Err = P->FirstError;
+  }
+  if (Err)
+    std::rethrow_exception(Err);
+}
+
+#else // !OMEGA_PARALLEL
+
+struct ThreadPool::Impl {};
+
+ThreadPool::ThreadPool() : P(nullptr) {}
+ThreadPool::~ThreadPool() {}
+
+void ThreadPool::run(size_t N, const std::function<void(size_t)> &Fn) {
+  for (size_t I = 0; I < N; ++I)
+    Fn(I);
+}
+
+#endif // OMEGA_PARALLEL
+
+ThreadPool &ThreadPool::instance() {
+  static ThreadPool Pool;
+  return Pool;
+}

@@ -1,0 +1,71 @@
+//===- support/ThreadPool.h - Fixed-size worker pool -----------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used to fan out independent disjunct
+/// work items (DNF clauses, splinter groups, per-clause summations).
+///
+/// The pool itself is policy-free: it runs `Fn(0) .. Fn(N-1)` on worker
+/// threads and blocks the caller until all indices complete.  Determinism
+/// of the *results* is the callers' responsibility — the omega pipeline
+/// achieves it by giving every index its own deterministic wildcard scope
+/// (see presburger/Parallel.h) and by writing each index's output to its
+/// own slot.
+///
+/// When the OMEGA_PARALLEL CMake option is OFF this header still compiles,
+/// but run() degrades to a serial loop and setWorkerCount() is recorded
+/// without effect, so no std::thread is ever created.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SUPPORT_THREADPOOL_H
+#define OMEGA_SUPPORT_THREADPOOL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace omega {
+
+/// Sets the number of worker threads used for disjunct fan-out.  0 and 1
+/// both mean "serial": all work runs inline on the calling thread, and the
+/// pipeline is required to produce bit-identical results for every worker
+/// count (see DESIGN.md §8).  Thread-safe; takes effect on the next batch.
+void setWorkerCount(unsigned N);
+
+/// The current worker-count knob (not the number of live threads).
+unsigned workerCount();
+
+/// The fixed-size worker pool (one per process, lazily started).
+class ThreadPool {
+public:
+  /// The process-wide pool instance.
+  static ThreadPool &instance();
+
+  /// Runs Fn(0..N-1) across the workers and blocks until every index has
+  /// completed.  Worker threads are started lazily up to workerCount().
+  /// Falls back to a serial loop when workerCount() < 2 or the pool was
+  /// compiled out.  The first exception thrown by any Fn(i) is rethrown
+  /// in the caller after the batch drains.  Not reentrant: must not be
+  /// called from inside a worker (callers run nested batches inline).
+  void run(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// True iff the calling thread is a pool worker executing a batch.
+  static bool onWorkerThread();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+private:
+  ThreadPool();
+  ~ThreadPool();
+
+  struct Impl;
+  Impl *P;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SUPPORT_THREADPOOL_H

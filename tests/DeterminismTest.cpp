@@ -1,0 +1,95 @@
+//===- tests/DeterminismTest.cpp - Bit-identical results at any width ----===//
+//
+// The determinism contract (DESIGN.md §8): worker count and cache state are
+// performance knobs only — the piecewise answer must be *textually*
+// identical for every configuration.  This runs a fuzz corpus plus every
+// examples/formulas/*.presburger file at worker counts {0, 1, 4}, each from
+// a fully reset state (wildcard counters + cache), and once more with the
+// cache disabled, comparing the printed results character for character.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzGen.h"
+#include "tools/FormulaFile.h"
+
+#include "counting/Summation.h"
+#include "omega/Omega.h"
+#include "presburger/Parser.h"
+#include "presburger/Var.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace omega;
+
+namespace {
+
+constexpr unsigned kWorkerCounts[] = {0, 1, 4};
+
+/// Counts \p Text over \p Vars under the given knobs from a reset state and
+/// returns the printed piecewise answer.
+std::string countToString(const std::string &Text,
+                          const std::vector<std::string> &Vars,
+                          unsigned Workers, size_t CacheCapacity) {
+  setWorkerCount(Workers);
+  setConjunctCacheCapacity(CacheCapacity);
+  clearConjunctCache();
+  resetWildcardState();
+  ParseResult R = parseFormula(Text);
+  EXPECT_TRUE(R) << R.Error << " in: " << Text;
+  if (!R)
+    return "<parse error>";
+  PiecewiseValue V = countSolutions(*R.Value, VarSet(Vars.begin(), Vars.end()));
+  return V.toString();
+}
+
+/// Asserts the answer for (Text, Vars) is identical across all worker
+/// counts and with the cache off.
+void expectDeterministic(const std::string &Label, const std::string &Text,
+                         const std::vector<std::string> &Vars) {
+  SCOPED_TRACE(Label + ": " + Text);
+  const size_t Cap = size_t(1) << 14;
+  std::string Reference = countToString(Text, Vars, 0, Cap);
+  for (unsigned W : kWorkerCounts) {
+    std::string Got = countToString(Text, Vars, W, Cap);
+    EXPECT_EQ(Got, Reference) << "workers=" << W << " diverged";
+  }
+  std::string NoCache = countToString(Text, Vars, 4, /*CacheCapacity=*/0);
+  EXPECT_EQ(NoCache, Reference) << "cache-off diverged";
+  // Restore defaults for whatever runs next in this process.
+  setWorkerCount(0);
+  setConjunctCacheCapacity(Cap);
+}
+
+TEST(Determinism, FuzzCorpus) {
+  fuzz::Generator Gen(/*Seed=*/7);
+  for (int Case = 0; Case < 40; ++Case) {
+    fuzz::FuzzCase FC = Gen.next();
+    expectDeterministic("fuzz case " + std::to_string(Case), FC.Text,
+                        FC.Vars);
+  }
+}
+
+TEST(Determinism, ExampleFormulas) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Paths;
+  for (const fs::directory_entry &E : fs::directory_iterator(EXAMPLES_DIR))
+    if (E.path().extension() == ".presburger")
+      Paths.push_back(E.path().string());
+  std::sort(Paths.begin(), Paths.end());
+  ASSERT_FALSE(Paths.empty()) << "no .presburger files under " << EXAMPLES_DIR;
+
+  for (const std::string &Path : Paths) {
+    FormulaFile FF;
+    std::string Err;
+    ASSERT_TRUE(readFormulaFile(Path, FF, Err)) << Path << ": " << Err;
+    expectDeterministic(Path, FF.FormulaText, FF.Vars);
+  }
+}
+
+} // namespace

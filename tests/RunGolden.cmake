@@ -1,0 +1,36 @@
+# Golden-file comparator for omegacount output, run as a ctest:
+#
+#   cmake -DCMD=<omegacount> -DFILE=<x.presburger> -DGOLDEN=<x.golden>
+#         [-DREGENERATE=1] -P RunGolden.cmake
+#
+# Runs `omegacount --file FILE`, compares stdout byte-for-byte with GOLDEN,
+# and prints both on mismatch.  With -DREGENERATE=1 it rewrites the golden
+# instead (used after an intentional output change; see README).
+
+execute_process(
+  COMMAND "${CMD}" --file "${FILE}"
+  OUTPUT_VARIABLE Actual
+  ERROR_VARIABLE ErrOut
+  RESULT_VARIABLE Status)
+if(NOT Status EQUAL 0)
+  message(FATAL_ERROR "omegacount failed (exit ${Status}) on ${FILE}:\n${ErrOut}")
+endif()
+
+if(REGENERATE)
+  file(WRITE "${GOLDEN}" "${Actual}")
+  message(STATUS "regenerated ${GOLDEN}")
+  return()
+endif()
+
+if(NOT EXISTS "${GOLDEN}")
+  message(FATAL_ERROR "missing golden file ${GOLDEN} — generate it with:\n"
+                      "  cmake -DCMD=${CMD} -DFILE=${FILE} -DGOLDEN=${GOLDEN} "
+                      "-DREGENERATE=1 -P ${CMAKE_CURRENT_LIST_FILE}")
+endif()
+
+file(READ "${GOLDEN}" Expected)
+if(NOT Actual STREQUAL Expected)
+  message(FATAL_ERROR "golden mismatch for ${FILE}\n"
+                      "--- expected (${GOLDEN}) ---\n${Expected}\n"
+                      "--- actual ---\n${Actual}")
+endif()

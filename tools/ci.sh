@@ -26,4 +26,18 @@ run_matrix "$prefix-default"
 run_matrix "$prefix-hardened" \
   -DOMEGA_VALIDATE=ON "-DOMEGA_SANITIZE=address;undefined"
 
+# Parallel: worker pool + validation, under ThreadSanitizer when the
+# toolchain supports it (probe with a trivial compile; TSan is absent from
+# some gcc builds), plain otherwise.  Either way the determinism and fuzz
+# suites run with the parallel code paths compiled in.
+tsan_flags=""
+if printf 'int main(){return 0;}\n' | \
+   ${CXX:-c++} -fsanitize=thread -x c++ - -o /dev/null 2>/dev/null; then
+  tsan_flags="-DOMEGA_SANITIZE=thread"
+else
+  echo "=== ci: ThreadSanitizer unavailable, running parallel leg unsanitized"
+fi
+run_matrix "$prefix-parallel" \
+  -DOMEGA_PARALLEL=ON -DOMEGA_VALIDATE=ON $tsan_flags
+
 echo "=== ci: all configurations green"

@@ -9,20 +9,30 @@
 //
 // Options:
 //   --vars a,b,c       counted variables (required for counting)
+//   --file F           read a .presburger file instead of a formula
+//                      argument (provides vars: unless --vars is given)
 //   --sum "i"          sum this polynomial (product of vars and integers)
 //                      instead of counting
 //   --strategy S       splinter | mod | upper | lower | approx
 //   --at n=5,m=3       evaluate the result at symbol values (repeatable)
 //   --simplify-only    print the disjoint DNF and stop
 //   --sample           print one concrete solution per --at
+//   --workers N        worker threads for disjunct fan-out (0 = serial)
+//   --cache N          conjunct cache capacity; --no-cache disables it
+//   --stats            print pipeline statistics to stderr on exit
 //
 //===----------------------------------------------------------------------===//
 
 #include "counting/Set.h"
 #include "presburger/Parser.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+#include "FormulaFile.h"
 
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -99,8 +109,8 @@ int main(int Argc, char **Argv) {
   std::string SumText;
   std::vector<Assignment> Ats;
   SumOptions Opts;
-  bool SimplifyOnly = false, Sample = false;
-  std::string FormulaText;
+  bool SimplifyOnly = false, Sample = false, Stats = false;
+  std::string FormulaText, FilePath;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -109,8 +119,31 @@ int main(int Argc, char **Argv) {
         fail("missing value after " + Arg);
       return Argv[I];
     };
+    auto NextCount = [&]() -> long {
+      std::string V = Next();
+      try {
+        size_t Pos = 0;
+        long N = std::stol(V, &Pos);
+        if (Pos != V.size() || N < 0)
+          throw std::invalid_argument(V);
+        return N;
+      } catch (const std::exception &) {
+        fail("expected a nonnegative integer after " + Arg + ": " + V);
+      }
+      return 0;
+    };
     if (Arg == "--vars")
       Vars = splitList(Next());
+    else if (Arg == "--file")
+      FilePath = Next();
+    else if (Arg == "--workers")
+      setWorkerCount(static_cast<unsigned>(NextCount()));
+    else if (Arg == "--cache")
+      setConjunctCacheCapacity(static_cast<size_t>(NextCount()));
+    else if (Arg == "--no-cache")
+      setConjunctCacheCapacity(0);
+    else if (Arg == "--stats")
+      Stats = true;
     else if (Arg == "--sum")
       SumText = Next();
     else if (Arg == "--at")
@@ -136,12 +169,19 @@ int main(int Argc, char **Argv) {
     else if (Arg == "--help" || Arg == "-h") {
       std::cout
           << "usage: omegacount --vars i,j [options] \"<formula>\"\n"
+             "  --file F         read a .presburger file (vars: from the "
+             "file unless --vars)\n"
              "  --sum POLY       sum POLY (e.g. \"i*j + 2*i\") over the "
              "solutions\n"
              "  --strategy S     splinter|mod|upper|lower|approx\n"
              "  --at n=5,m=3     evaluate the symbolic answer (repeatable)\n"
              "  --simplify-only  print disjoint DNF only\n"
-             "  --sample         print one solution per --at binding\n";
+             "  --sample         print one solution per --at binding\n"
+             "  --workers N      worker threads for disjunct fan-out "
+             "(0 = serial)\n"
+             "  --cache N        conjunct cache capacity (entries); "
+             "--no-cache disables\n"
+             "  --stats          print pipeline statistics to stderr\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-')
       fail("unknown option: " + Arg);
@@ -151,6 +191,17 @@ int main(int Argc, char **Argv) {
       fail("multiple formulas given");
   }
 
+  if (!FilePath.empty()) {
+    if (!FormulaText.empty())
+      fail("both --file and a formula argument given");
+    FormulaFile In;
+    std::string Err;
+    if (!readFormulaFile(FilePath, In, Err))
+      fail(FilePath + ": " + Err);
+    FormulaText = In.FormulaText;
+    if (Vars.empty())
+      Vars = In.Vars;
+  }
   if (FormulaText.empty())
     fail("no formula given (try --help)");
   ParseResult R = parseFormula(FormulaText);
@@ -165,8 +216,14 @@ int main(int Argc, char **Argv) {
             << (D.size() == 1 ? "" : "s") << "):\n";
   for (const Conjunct &C : D)
     std::cout << "  " << C << "\n";
-  if (SimplifyOnly)
+  auto EmitStats = [&] {
+    if (Stats)
+      std::cerr << snapshotPipelineStats().toPretty();
+  };
+  if (SimplifyOnly) {
+    EmitStats();
     return 0;
+  }
 
   if (Vars.empty())
     fail("--vars required for counting");
@@ -176,8 +233,10 @@ int main(int Argc, char **Argv) {
                          ? Set.count(Opts)
                          : Set.sum(parseSummand(SumText), Opts);
   std::cout << (SumText.empty() ? "count" : "sum") << ":\n  " << V << "\n";
-  if (V.isUnbounded())
+  if (V.isUnbounded()) {
+    EmitStats();
     return 0;
+  }
 
   for (const Assignment &At : Ats) {
     std::cout << "at";
@@ -195,5 +254,6 @@ int main(int Argc, char **Argv) {
       }
     }
   }
+  EmitStats();
   return 0;
 }

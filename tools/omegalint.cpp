@@ -21,6 +21,8 @@
 // Options:
 //   --no-enumerate     skip the enumeration cross-check (structure only)
 //   --verbose          print each symbol sample as it is checked
+//   --workers N        worker threads for disjunct fan-out (0 = serial)
+//   --stats            print pipeline statistics to stderr on exit
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,10 +31,13 @@
 #include "counting/Summation.h"
 #include "omega/Omega.h"
 #include "presburger/Parser.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+#include "FormulaFile.h"
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -41,14 +46,6 @@
 using namespace omega;
 
 namespace {
-
-struct LintInput {
-  std::string Path;
-  std::vector<std::string> Vars;
-  int64_t BoxLo = -8;
-  int64_t BoxHi = 24;
-  std::string FormulaText;
-};
 
 struct LintStats {
   int Files = 0;
@@ -63,63 +60,6 @@ void problem(LintStats &Stats, const std::string &Path,
              const std::string &Msg) {
   std::cerr << "omegalint: " << Path << ": " << Msg << "\n";
   ++Stats.Problems;
-}
-
-std::string trim(const std::string &S) {
-  size_t B = S.find_first_not_of(" \t\r");
-  if (B == std::string::npos)
-    return "";
-  size_t E = S.find_last_not_of(" \t\r");
-  return S.substr(B, E - B + 1);
-}
-
-std::vector<std::string> splitCommas(const std::string &S) {
-  std::vector<std::string> Out;
-  std::istringstream IS(S);
-  std::string Item;
-  while (std::getline(IS, Item, ','))
-    if (std::string T = trim(Item); !T.empty())
-      Out.push_back(T);
-  return Out;
-}
-
-bool readInput(const std::string &Path, LintInput &In, std::string &Err) {
-  std::ifstream File(Path);
-  if (!File) {
-    Err = "cannot open file";
-    return false;
-  }
-  In.Path = Path;
-  std::string Line;
-  std::string Formula;
-  while (std::getline(File, Line)) {
-    std::string T = trim(Line);
-    if (T.empty() || T[0] == '#')
-      continue;
-    if (T.rfind("vars:", 0) == 0) {
-      In.Vars = splitCommas(T.substr(5));
-      continue;
-    }
-    if (T.rfind("box:", 0) == 0) {
-      std::istringstream IS(T.substr(4));
-      if (!(IS >> In.BoxLo >> In.BoxHi) || In.BoxLo > In.BoxHi) {
-        Err = "bad box: directive (want \"box: LO HI\")";
-        return false;
-      }
-      continue;
-    }
-    Formula += (Formula.empty() ? "" : " ") + T;
-  }
-  if (In.Vars.empty()) {
-    Err = "missing \"vars:\" directive";
-    return false;
-  }
-  if (Formula.empty()) {
-    Err = "no formula found";
-    return false;
-  }
-  In.FormulaText = Formula;
-  return true;
 }
 
 /// Reports diagnostics; returns the number of Errors (Warnings are printed
@@ -167,9 +107,9 @@ std::vector<Assignment> sampleAssignments(const VarSet &Symbols) {
 
 void lintFile(const std::string &Path, LintStats &Stats) {
   ++Stats.Files;
-  LintInput In;
+  FormulaFile In;
   std::string Err;
-  if (!readInput(Path, In, Err)) {
+  if (!readFormulaFile(Path, In, Err)) {
     problem(Stats, Path, Err);
     return;
   }
@@ -250,15 +190,24 @@ void lintFile(const std::string &Path, LintStats &Stats) {
 
 int main(int Argc, char **Argv) {
   std::vector<std::string> Paths;
+  bool PrintStats = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--verbose")
       Verbose = true;
     else if (Arg == "--no-enumerate")
       Enumerate = false;
-    else if (Arg == "--help" || Arg == "-h") {
+    else if (Arg == "--stats")
+      PrintStats = true;
+    else if (Arg == "--workers") {
+      if (++I >= Argc) {
+        std::cerr << "omegalint: missing value after --workers\n";
+        return 1;
+      }
+      setWorkerCount(static_cast<unsigned>(std::atoi(Argv[I])));
+    } else if (Arg == "--help" || Arg == "-h") {
       std::cout << "usage: omegalint [--verbose] [--no-enumerate] "
-                   "<file-or-dir>...\n";
+                   "[--workers N] [--stats] <file-or-dir>...\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "omegalint: unknown option: " << Arg << "\n";
@@ -296,5 +245,7 @@ int main(int Argc, char **Argv) {
             << " enumeration sample" << (Stats.Samples == 1 ? "" : "s")
             << ", " << Stats.Problems << " problem"
             << (Stats.Problems == 1 ? "" : "s") << "\n";
+  if (PrintStats)
+    std::cerr << snapshotPipelineStats().toPretty();
   return Stats.Problems == 0 ? 0 : 1;
 }
