@@ -2,9 +2,39 @@
 
 #include "baselines/Enumerator.h"
 
+#include "omega/Omega.h"
 #include "support/Error.h"
 
 using namespace omega;
+
+namespace {
+
+bool hasQuantifier(const Formula &F) {
+  if (F.kind() == FormulaKind::Exists || F.kind() == FormulaKind::Forall)
+    return true;
+  for (const Formula &C : F.children())
+    if (hasQuantifier(C))
+      return true;
+  return false;
+}
+
+/// The oracle path is simplify-then-evaluate: quantifiers are eliminated
+/// exactly by the Omega test up front, so the per-point check is
+/// quantifier-free (stride constraints evaluate directly) and does not
+/// depend on the witness box.  Wildcards a clause still carries come back
+/// as an exists() and fall through to the box search, same as before.
+Formula eliminateQuantifiers(const Formula &F) {
+  if (!hasQuantifier(F))
+    return F;
+  std::vector<Formula> Clauses;
+  for (const Conjunct &C : simplify(F))
+    Clauses.push_back(Formula::fromConjunct(C));
+  if (Clauses.empty())
+    return Formula::falseFormula();
+  return Formula::disj(std::move(Clauses));
+}
+
+} // namespace
 
 bool omega::evaluateInBox(const Formula &F, Assignment &Values,
                           int64_t WitnessLo, int64_t WitnessHi) {
@@ -65,13 +95,14 @@ Rational omega::enumerateSum(const Formula &F,
                              const Assignment &Symbols,
                              const QuasiPolynomial &X, int64_t Lo, int64_t Hi,
                              int64_t WitnessLo, int64_t WitnessHi) {
+  Formula QF = eliminateQuantifiers(F);
   Rational Sum(0);
   std::vector<int64_t> Vals(Vars.size(), Lo);
   while (true) {
     Assignment A = Symbols;
     for (size_t I = 0; I < Vars.size(); ++I)
       A[Vars[I]] = BigInt(Vals[I]);
-    if (evaluateInBox(F, A, WitnessLo, WitnessHi))
+    if (evaluateInBox(QF, A, WitnessLo, WitnessHi))
       Sum += X.evaluate(A);
     size_t I = 0;
     while (I < Vals.size() && ++Vals[I] > Hi)

@@ -27,7 +27,9 @@ bool evaluateInBox(const Formula &F, Assignment &Values, int64_t WitnessLo,
                    int64_t WitnessHi);
 
 /// Σ over assignments of \p Vars in [Lo, Hi]^k satisfying F (with symbols
-/// pre-bound in \p Symbols) of X.
+/// pre-bound in \p Symbols) of X.  Quantifiers in F are eliminated exactly
+/// (simplify-then-evaluate) before the sweep, so the result does not
+/// depend on the witness box unless a simplified clause retains wildcards.
 Rational enumerateSum(const Formula &F, const std::vector<std::string> &Vars,
                       const Assignment &Symbols, const QuasiPolynomial &X,
                       int64_t Lo, int64_t Hi, int64_t WitnessLo,

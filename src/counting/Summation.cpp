@@ -10,10 +10,12 @@
 #include "matrix/Matrix.h"
 #include "poly/Faulhaber.h"
 #include "presburger/Parallel.h"
+#include "support/Budget.h"
 #include "support/Error.h"
 #include "support/Stats.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 using namespace omega;
@@ -85,6 +87,14 @@ public:
                  std::string Pinned = "") {
     if (Unbounded)
       return;
+    // Per-Summer depth: whether the budget trips depends only on this
+    // clause's own recursion, never on worker schedule.
+    ++Depth;
+    struct DepthGuard {
+      unsigned &D;
+      ~DepthGuard() { --D; }
+    } Guard{Depth};
+    chargeDepth(Depth, "summation");
     if (!normalizeConjunct(C))
       return;
     if (!feasible(C))
@@ -583,6 +593,7 @@ private:
   }
 
   SumOptions Opts;
+  unsigned Depth = 0;
 };
 
 } // namespace
@@ -763,4 +774,116 @@ PiecewiseValue omega::sumOverFormula(const Formula &F, const VarSet &Vars,
 PiecewiseValue omega::countSolutions(const Formula &F, const VarSet &Vars,
                                      SumOptions Opts) {
   return sumOverFormula(F, Vars, QuasiPolynomial(Rational(1)), Opts);
+}
+
+namespace {
+
+/// Sums every clause of an (approximating) DNF with the given strategy and
+/// concatenates the pieces.  PiecewiseValue sums matching guards, so the
+/// result represents Σ_clauses sum(clause) — an upper bound for an
+/// over-approximating union (clauses may overlap) and, when the clauses
+/// are disjoint, the exact sum of the union.  Returns nullopt when some
+/// clause is unbounded.
+std::optional<PiecewiseValue> sumClauseList(const std::vector<Conjunct> &Cs,
+                                            const VarSet &Vars,
+                                            const QuasiPolynomial &X,
+                                            SumOptions Opts) {
+  PiecewiseValue V;
+  for (const Conjunct &C : Cs) {
+    Summer S(Opts);
+    S.sumClause(C, Vars, X);
+    if (S.Unbounded)
+      return std::nullopt;
+    for (Piece &P : S.Out.pieces())
+      V.pieces().push_back(std::move(P));
+  }
+  V.pieces().erase(std::remove_if(V.pieces().begin(), V.pieces().end(),
+                                  [](const Piece &P) {
+                                    return !feasible(P.Guard);
+                                  }),
+                   V.pieces().end());
+  V.mergeSyntactic();
+  return V;
+}
+
+} // namespace
+
+BudgetedCount omega::sumOverFormulaBudgeted(const Formula &F,
+                                            const VarSet &Vars,
+                                            const QuasiPolynomial &X,
+                                            const EffortBudget &Budget,
+                                            SumOptions Opts) {
+  BudgetedCount Out;
+  // Exact attempt under the budget.  On a clean run this is the only pass.
+  try {
+    BudgetScope Scope(std::make_shared<BudgetState>(Budget));
+    PiecewiseValue V = sumOverFormula(F, Vars, X, Opts);
+    Out.Status = V.isUnbounded() ? CountStatus::Unbounded : CountStatus::Exact;
+    Out.Value = std::move(V);
+    return Out;
+  } catch (const BudgetExceeded &E) {
+    Out.TrippedLimit = E.Limit;
+  }
+
+  // Degrade per §4.6: certified bounds from the two shadows.  Both passes
+  // run under a pinned wildcard scope, which (a) makes every minted name a
+  // function of this pass alone — the aborted exact pass cannot leak
+  // nondeterministic counter state into the bounds — and (b) forces the
+  // fan-outs inline, so the output is bit-identical at every worker count.
+  // The relaxed budget keeps even the fallback from running away; shadow
+  // modes never splinter, so it rarely trips.
+  pipelineStats().DegradedQueries += 1;
+  Out.Status = CountStatus::Bounded;
+  EffortBudget Relaxed = Budget.relaxed(8);
+
+  // Upper bound: real shadow over-approximates the set; UpperBound
+  // strategy over-approximates each clause's sum; overlapping clauses
+  // only add, so the concatenated pieces still bound from above.
+  try {
+    BudgetScope Scope(std::make_shared<BudgetState>(Relaxed));
+    WildcardScope Pin("degU");
+    SimplifyOptions SO;
+    SO.Mode = ShadowMode::Real;
+    std::vector<Conjunct> Clauses = simplify(F, SO);
+    SumOptions UO = Opts;
+    UO.Strategy = BoundStrategy::UpperBound;
+    std::optional<PiecewiseValue> U = sumClauseList(Clauses, Vars, X, UO);
+    Out.Upper = U ? std::move(*U) : PiecewiseValue::unbounded();
+  } catch (const BudgetExceeded &) {
+    Out.Upper = PiecewiseValue::unbounded();
+  }
+
+  // Lower bound: the dark shadow is a subset of the true set, so its sum
+  // (clauses made disjoint first — makeDisjoint preserves the union) with
+  // the under-approximating LowerBound strategy bounds from below.  An
+  // unbounded dark shadow proves the true answer itself is unbounded.
+  try {
+    BudgetScope Scope(std::make_shared<BudgetState>(Relaxed));
+    WildcardScope Pin("degL");
+    SimplifyOptions SO;
+    SO.Mode = ShadowMode::Dark;
+    std::vector<Conjunct> Clauses = simplify(F, SO);
+    if (!pairwiseDisjoint(Clauses))
+      Clauses = makeDisjoint(std::move(Clauses));
+    SumOptions LO = Opts;
+    LO.Strategy = BoundStrategy::LowerBound;
+    std::optional<PiecewiseValue> L = sumClauseList(Clauses, Vars, X, LO);
+    if (!L) {
+      Out.Status = CountStatus::Unbounded;
+      Out.Value = PiecewiseValue::unbounded();
+      return Out;
+    }
+    Out.Lower = std::move(*L);
+  } catch (const BudgetExceeded &) {
+    Out.Lower = PiecewiseValue(); // Zero: trivially certified.
+  }
+  return Out;
+}
+
+BudgetedCount omega::countSolutionsBudgeted(const Formula &F,
+                                            const VarSet &Vars,
+                                            const EffortBudget &Budget,
+                                            SumOptions Opts) {
+  return sumOverFormulaBudgeted(F, Vars, QuasiPolynomial(Rational(1)), Budget,
+                                Opts);
 }

@@ -28,6 +28,8 @@
 
 #include "omega/Omega.h"
 #include "poly/PiecewiseValue.h"
+#include "support/Budget.h"
+#include "support/Status.h"
 
 namespace omega {
 
@@ -79,6 +81,44 @@ PiecewiseValue countSolutions(const Formula &F, const VarSet &Vars,
 /// of the results to be meaningful.
 PiecewiseValue sumOverConjunct(const Conjunct &C, const VarSet &Vars,
                                const QuasiPolynomial &X, SumOptions Opts = {});
+
+/// Outcome of a budgeted query (the degradation contract of DESIGN.md §9).
+struct BudgetedCount {
+  CountStatus Status = CountStatus::Error;
+  /// The exact answer; valid when Status == Exact.
+  PiecewiseValue Value;
+  /// Certified bounds, valid when Status == Bounded:
+  ///   Lower(s) <= true answer(s) <= Upper(s)  for every symbol binding s.
+  /// Lower comes from the dark shadow (an under-approximating set summed
+  /// with under-approximating bounds), Upper from the real shadow; Upper
+  /// may be the unbounded marker when even the over-approximation
+  /// diverges.
+  PiecewiseValue Lower;
+  PiecewiseValue Upper;
+  /// Which budget knob tripped (e.g. "splinters=8"); set when Status is
+  /// Bounded or Unbounded-after-trip, empty for a clean Exact run.
+  std::string TrippedLimit;
+  /// Valid when Status == Error.
+  Error Err;
+};
+
+/// (Σ Vars : F : X) under \p Budget.  Runs the exact pipeline first; if a
+/// budget limit trips, retries with §4.6-style approximations — real
+/// shadow / BoundStrategy::UpperBound for the upper bound, dark shadow /
+/// BoundStrategy::LowerBound for the lower — under a relaxed budget and a
+/// pinned wildcard scope, so the degraded output is identical at every
+/// worker count (the wall-clock deadline knob excepted).  For summands
+/// other than 1 the bounds assume X is non-negative over the counted
+/// region (the paper's setting).
+BudgetedCount sumOverFormulaBudgeted(const Formula &F, const VarSet &Vars,
+                                     const QuasiPolynomial &X,
+                                     const EffortBudget &Budget,
+                                     SumOptions Opts = {});
+
+/// (Σ Vars : F : 1) under \p Budget: exact count, or certified bounds.
+BudgetedCount countSolutionsBudgeted(const Formula &F, const VarSet &Vars,
+                                     const EffortBudget &Budget,
+                                     SumOptions Opts = {});
 
 } // namespace omega
 

@@ -11,6 +11,7 @@
 #include "omega/Omega.h"
 
 #include "analysis/Validator.h"
+#include "support/Budget.h"
 #include "support/Error.h"
 #include "support/Stats.h"
 
@@ -19,6 +20,27 @@
 using namespace omega;
 
 namespace {
+
+/// Budget check on coefficient growth: trips when any coefficient or
+/// constant of \p C exceeds the active budget's bit-width cap.  Charged
+/// after every normalize step, where Fourier pair combination has just
+/// multiplied coefficients.
+void chargeClauseCoefficients(const Conjunct &C) {
+  const std::shared_ptr<BudgetState> &B = activeBudget();
+  if (!B || B->Limits.MaxCoefficientBits == 0)
+    return;
+  unsigned MaxBits = 0;
+  for (const Constraint &K : C.constraints()) {
+    MaxBits = std::max(MaxBits, K.expr().constant().bitWidth());
+    for (const auto &[Name, Coef] : K.expr().terms()) {
+      (void)Name;
+      MaxBits = std::max(MaxBits, Coef.bitWidth());
+    }
+    if (K.isStride())
+      MaxBits = std::max(MaxBits, K.modulus().bitWidth());
+  }
+  chargeCoefficientBits(MaxBits, "projection");
+}
 
 /// One bound on a variable v extracted from a Ge constraint:
 /// Lower: Coef * v >= Expr;  Upper: Coef * v <= Expr.  Coef > 0.
@@ -71,6 +93,15 @@ public:
   void run(Conjunct C, VarSet Targets) {
     if (StopAfterFirst && !Results.empty())
       return;
+    // Depth and splinter counts are per-Projector-instance, so whether a
+    // budget trips is a function of this elimination alone — independent
+    // of worker schedule and of what other queries are in flight.
+    ++Depth;
+    struct DepthGuard {
+      unsigned &D;
+      ~DepthGuard() { --D; }
+    } Guard{Depth};
+    chargeDepth(Depth, "projection");
     // Wildcards are existential by definition; fold them into the targets.
     for (const std::string &W : C.takeWildcards())
       Targets.insert(W);
@@ -78,6 +109,7 @@ public:
     while (true) {
       if (!normalizeClause(C))
         return;
+      chargeClauseCoefficients(C);
 
       // Drop targets no constraint mentions (they are unconstrained).
       VarSet Mentioned = C.mentionedVars();
@@ -323,7 +355,7 @@ private:
         AffineExpr E = L.Coef * AffineExpr::variable(V) - L.Expr -
                        AffineExpr(I);
         Spl.add(Constraint::eq(std::move(E)));
-        pipelineStats().SplintersGenerated += 1;
+        chargeOneSplinter();
         run(std::move(Spl), Targets);
       }
     }
@@ -354,7 +386,7 @@ private:
           AffineExpr E = C2 * AffineExpr::variable(V) - U.Coef * L.Expr -
                          AffineExpr(I);
           Spl.add(Constraint::eq(std::move(E)));
-          pipelineStats().SplintersGenerated += 1;
+          chargeOneSplinter();
           run(std::move(Spl), Targets);
         }
         return;
@@ -390,7 +422,7 @@ private:
               AffineExpr E = L.Coef * U.Coef * AffineExpr::variable(V) -
                              U.Coef * L.Expr - AffineExpr(J);
               Spl.add(Constraint::eq(std::move(E)));
-              pipelineStats().SplintersGenerated += 1;
+              chargeOneSplinter();
               run(std::move(Spl), Targets);
             }
         }
@@ -400,8 +432,17 @@ private:
     run(std::move(W), std::move(Targets));
   }
 
+  /// Bumps the per-instance splinter count against the budget; call once
+  /// per splinter, next to the SplintersGenerated stat.
+  void chargeOneSplinter() {
+    pipelineStats().SplintersGenerated += 1;
+    chargeSplinters(++SplinterCount, "projection");
+  }
+
   ShadowMode Mode;
   bool StopAfterFirst;
+  unsigned Depth = 0;
+  uint64_t SplinterCount = 0;
 };
 
 } // namespace

@@ -11,6 +11,7 @@
 
 #include "analysis/Validator.h"
 #include "presburger/Parallel.h"
+#include "support/Budget.h"
 #include "support/Error.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -96,6 +97,10 @@ std::vector<Conjunct> crossConjoin(const std::vector<Conjunct> &A,
                                    const std::vector<Conjunct> &B) {
   if (A.empty() || B.empty())
     return {};
+  // The pair space is the quantity that blows up in DNF conversion, so it
+  // is what the clause budget meters (a container-size check, identical
+  // across worker schedules).
+  chargeClauses(A.size() * B.size(), "simplify");
   // Row-major pair index space; each feasible merge lands in its own slot,
   // so compacting the slots reproduces the serial double-loop order.
   std::vector<std::optional<Conjunct>> Merged(A.size() * B.size());
@@ -156,6 +161,7 @@ std::vector<Conjunct> toDNF(const Formula &F, ShadowMode Mode) {
     for (std::vector<Conjunct> &D : Parts)
       Acc.insert(Acc.end(), std::make_move_iterator(D.begin()),
                  std::make_move_iterator(D.end()));
+    chargeClauses(Acc.size(), "simplify");
     return Acc;
   }
   case FormulaKind::Not: {
@@ -502,6 +508,7 @@ std::vector<Conjunct> makeDisjointComponent(std::vector<Conjunct> Clauses) {
 }
 
 std::vector<Conjunct> makeDisjointImpl(std::vector<Conjunct> Clauses) {
+  chargeClauses(Clauses.size(), "disjoint");
   pruneInfeasible(Clauses);
   removeSubsumed(Clauses);
   if (Clauses.size() <= 1)

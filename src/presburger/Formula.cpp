@@ -192,6 +192,13 @@ VarSet Formula::freeVars() const {
 }
 
 bool Formula::evaluate(const Assignment &Values) const {
+  Result<bool> R = tryEvaluate(Values);
+  if (!R)
+    fatalError(R.error().toString());
+  return *R;
+}
+
+Result<bool> Formula::tryEvaluate(const Assignment &Values) const {
   switch (kind()) {
   case FormulaKind::True:
     return true;
@@ -200,23 +207,33 @@ bool Formula::evaluate(const Assignment &Values) const {
   case FormulaKind::Atom:
     return constraint().holds(Values);
   case FormulaKind::And:
-    for (const Formula &C : children())
-      if (!C.evaluate(Values))
-        return false;
+    for (const Formula &C : children()) {
+      Result<bool> R = C.tryEvaluate(Values);
+      if (!R || !*R)
+        return R;
+    }
     return true;
   case FormulaKind::Or:
-    for (const Formula &C : children())
-      if (C.evaluate(Values))
-        return true;
+    for (const Formula &C : children()) {
+      Result<bool> R = C.tryEvaluate(Values);
+      if (!R || *R)
+        return R;
+    }
     return false;
-  case FormulaKind::Not:
-    return !children()[0].evaluate(Values);
+  case FormulaKind::Not: {
+    Result<bool> R = children()[0].tryEvaluate(Values);
+    if (!R)
+      return R;
+    return !*R;
+  }
   case FormulaKind::Exists:
   case FormulaKind::Forall:
-    fatalError("Formula::evaluate does not support quantifiers; use "
-               "omega::simplify + containsPoint");
+    return Error{ErrorKind::Unsupported, "formula",
+                 "evaluate does not support quantifiers; use omega::simplify "
+                 "to obtain a quantifier-free formula first",
+                 ""};
   }
-  fatalError("Formula::evaluate: unknown formula kind");
+  fatalError("Formula::tryEvaluate: unknown formula kind");
 }
 
 static void printFormula(std::ostream &OS, const Formula &F) {

@@ -15,6 +15,7 @@
 #define OMEGA_PRESBURGER_FORMULA_H
 
 #include "presburger/Conjunct.h"
+#include "support/Status.h"
 
 #include <iosfwd>
 #include <memory>
@@ -65,7 +66,15 @@ public:
   /// check only when they are eliminable by substitution; general formulas
   /// should be evaluated through omega::simplify + containsPoint.  Provided
   /// here for wildcard-free and quantifier-free formulas (tests, guards).
+  /// Aborts on quantifiers; callers that cannot rule them out statically
+  /// must use tryEvaluate.
   bool evaluate(const Assignment &Values) const;
+
+  /// Like evaluate, but returns a typed Unsupported error instead of
+  /// aborting when the formula contains a quantifier.  Simplify the
+  /// formula first (omega::simplify yields quantifier-free DNF) to decide
+  /// quantified formulas.
+  Result<bool> tryEvaluate(const Assignment &Values) const;
 
   std::string toString() const;
 

@@ -2,6 +2,7 @@
 
 #include "presburger/Parallel.h"
 
+#include "support/Budget.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
@@ -14,7 +15,14 @@ void omega::forEachDisjunct(size_t N, const std::function<void(size_t)> &Fn) {
   // and therefore every scope prefix below — is independent of the worker
   // count.
   const std::string Base = nextWildcardBatchPrefix();
+  // Workers observe the caller's budget: the shared BudgetState (with its
+  // cancellation token) is re-installed inside every task, so a limit
+  // tripped by any thread cancels the whole batch — ThreadPool::run
+  // rethrows the first BudgetExceeded on the calling thread after the
+  // batch drains, and the batch's partial results are discarded with it.
+  const std::shared_ptr<BudgetState> Budget = activeBudget();
   auto RunOne = [&](size_t I) {
+    BudgetScope BS(Budget);
     WildcardScope Scope(Base + "t" + std::to_string(I));
     Fn(I);
   };

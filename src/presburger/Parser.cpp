@@ -3,6 +3,7 @@
 #include "presburger/Parser.h"
 
 #include "presburger/NonLinear.h"
+#include "support/Budget.h"
 #include "support/Error.h"
 
 #include <cctype>
@@ -316,9 +317,11 @@ private:
            K == TokKind::Gt || K == TokKind::Eq || K == TokKind::Ne;
   }
 
-  /// One comparison; Ne expands to a disjunction.
-  static Formula buildCmp(const AffineExpr &A, TokKind Op,
-                          const AffineExpr &B) {
+  /// One comparison; Ne expands to a disjunction.  Returns nullopt when
+  /// \p Op is not a comparison token (the callers' isCmp guard makes that
+  /// unreachable today, but a parse-layer helper must stay abort-free).
+  static std::optional<Formula> buildCmp(const AffineExpr &A, TokKind Op,
+                                         const AffineExpr &B) {
     switch (Op) {
     case TokKind::Le:
       return Formula::atom(Constraint::le(A, B));
@@ -334,7 +337,7 @@ private:
       return Formula::disj({Formula::atom(Constraint::lt(A, B)),
                             Formula::atom(Constraint::gt(A, B))});
     default:
-      fatalError("Parser: comparison atom built from a non-comparison token");
+      return std::nullopt;
     }
   }
 
@@ -369,8 +372,14 @@ private:
       if (!Next)
         return std::nullopt;
       for (const LoweredExpr &A : *Prev)
-        for (const LoweredExpr &B : *Next)
-          Cmps.push_back(buildCmp(A.Expr, Op, B.Expr));
+        for (const LoweredExpr &B : *Next) {
+          std::optional<Formula> Cmp = buildCmp(A.Expr, Op, B.Expr);
+          if (!Cmp) {
+            fail("expected comparison operator");
+            return std::nullopt;
+          }
+          Cmps.push_back(std::move(*Cmp));
+        }
       for (const LoweredExpr &A : *Prev)
         Side.addAll(A.Side);
       Prev = std::move(Next);
@@ -531,6 +540,20 @@ ParseResult omega::parseFormula(std::string_view Text) {
   if (!LexError.empty()) {
     R.Error = LexError;
     return R;
+  }
+  // Under an active EffortBudget, oversized literals are rejected here as
+  // ordinary parse diagnostics (not BudgetExceeded throws) so malformed
+  // input never reaches the solver at all.
+  if (const std::shared_ptr<BudgetState> &B = activeBudget()) {
+    if (uint64_t MaxBits = B->Limits.MaxCoefficientBits) {
+      for (const Token &T : Toks)
+        if (T.Kind == TokKind::Int && BigInt(T.Text).bitWidth() > MaxBits) {
+          R.Error = "integer literal exceeds budget bits=" +
+                    std::to_string(MaxBits) + " at offset " +
+                    std::to_string(T.Pos);
+          return R;
+        }
+    }
   }
   Parser P(std::move(Toks));
   std::string ParseError;

@@ -3,6 +3,7 @@
 #include "support/BigInt.h"
 
 #include <algorithm>
+#include <bit>
 #include <ostream>
 
 using namespace omega;
@@ -72,7 +73,16 @@ int64_t BigInt::toInt64() const {
     Mag = uint64_t(Limbs[1]) << 32;
   if (!Limbs.empty())
     Mag |= Limbs[0];
-  return Negative ? -static_cast<int64_t>(Mag) : static_cast<int64_t>(Mag);
+  // Negate in unsigned arithmetic: for Mag == 2^63 (INT64_MIN's magnitude)
+  // `-static_cast<int64_t>(Mag)` would negate INT64_MIN, which overflows.
+  return static_cast<int64_t>(Negative ? ~Mag + 1 : Mag);
+}
+
+unsigned BigInt::bitWidth() const {
+  if (Limbs.empty())
+    return 0;
+  return static_cast<unsigned>(32 * (Limbs.size() - 1)) +
+         static_cast<unsigned>(std::bit_width(Limbs.back()));
 }
 
 double BigInt::toDouble() const {

@@ -74,6 +74,10 @@ public:
   /// Converts to double (approximately, for diagnostics/heuristics only).
   double toDouble() const;
 
+  /// Number of bits in the magnitude (0 for zero): |x| < 2^bitWidth().
+  /// Drives the EffortBudget coefficient-width check.
+  unsigned bitWidth() const;
+
   BigInt operator-() const;
   BigInt abs() const { return Negative ? -*this : *this; }
 

@@ -11,6 +11,11 @@
 /// it is meaningless, so these paths must fail loudly in every build type —
 /// NDEBUG included — rather than silently falling through.
 ///
+/// fatalError is reserved for genuinely unreachable internal states; any
+/// failure a caller's *input* can provoke reports a recoverable Error
+/// through support/Status.h instead.  DESIGN.md §9 lists the surviving
+/// fatalError sites and why each is unreachable from text input.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OMEGA_SUPPORT_ERROR_H

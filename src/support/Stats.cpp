@@ -16,6 +16,8 @@ void PipelineCounters::reset() {
   CacheEvictions = 0;
   ParallelBatches = 0;
   ParallelTasks = 0;
+  BudgetTrips = 0;
+  DegradedQueries = 0;
   SimplifyNanos = 0;
   DisjointNanos = 0;
   CoalesceNanos = 0;
@@ -39,6 +41,8 @@ PipelineStatsSnapshot omega::snapshotPipelineStats() {
   S.CacheEvictions = C.CacheEvictions.load();
   S.ParallelBatches = C.ParallelBatches.load();
   S.ParallelTasks = C.ParallelTasks.load();
+  S.BudgetTrips = C.BudgetTrips.load();
+  S.DegradedQueries = C.DegradedQueries.load();
   S.SimplifyNanos = C.SimplifyNanos.load();
   S.DisjointNanos = C.DisjointNanos.load();
   S.CoalesceNanos = C.CoalesceNanos.load();
@@ -65,6 +69,8 @@ std::string PipelineStatsSnapshot::toPretty() const {
      << "  cache evictions:     " << CacheEvictions << "\n"
      << "  parallel batches:    " << ParallelBatches << " (" << ParallelTasks
      << " tasks)\n"
+     << "  budget trips:        " << BudgetTrips << "\n"
+     << "  degraded queries:    " << DegradedQueries << "\n"
      << "  simplify time:       " << ms(SimplifyNanos) << " ms\n"
      << "  disjoint time:       " << ms(DisjointNanos) << " ms\n"
      << "  coalesce time:       " << ms(CoalesceNanos) << " ms\n"
@@ -84,6 +90,8 @@ std::string PipelineStatsSnapshot::toJson() const {
      << "\"cache_evictions\": " << CacheEvictions << ", "
      << "\"parallel_batches\": " << ParallelBatches << ", "
      << "\"parallel_tasks\": " << ParallelTasks << ", "
+     << "\"budget_trips\": " << BudgetTrips << ", "
+     << "\"degraded_queries\": " << DegradedQueries << ", "
      << "\"simplify_ms\": " << ms(SimplifyNanos) << ", "
      << "\"disjoint_ms\": " << ms(DisjointNanos) << ", "
      << "\"coalesce_ms\": " << ms(CoalesceNanos) << ", "

@@ -42,6 +42,10 @@ struct PipelineCounters {
   // Fan-out.
   std::atomic<uint64_t> ParallelBatches{0};
   std::atomic<uint64_t> ParallelTasks{0};
+  // Budgets (support/Budget.h): limits tripped, and whole queries that
+  // fell back to certified bounds instead of an exact answer.
+  std::atomic<uint64_t> BudgetTrips{0};
+  std::atomic<uint64_t> DegradedQueries{0};
   // Cumulative wall time per phase, in nanoseconds.
   std::atomic<uint64_t> SimplifyNanos{0};
   std::atomic<uint64_t> DisjointNanos{0};
@@ -60,6 +64,7 @@ struct PipelineStatsSnapshot {
       SplintersGenerated;
   uint64_t CacheHits, CacheMisses, CacheEvictions;
   uint64_t ParallelBatches, ParallelTasks;
+  uint64_t BudgetTrips, DegradedQueries;
   uint64_t SimplifyNanos, DisjointNanos, CoalesceNanos, SummationNanos;
 
   /// One-line-per-counter human form (for --stats).

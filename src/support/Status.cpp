@@ -1,0 +1,52 @@
+//===- support/Status.cpp - Recoverable error channel --------------------===//
+
+#include "support/Status.h"
+
+using namespace omega;
+
+const char *omega::errorKindName(ErrorKind K) {
+  switch (K) {
+  case ErrorKind::Parse:
+    return "parse error";
+  case ErrorKind::InvalidInput:
+    return "invalid input";
+  case ErrorKind::Unsupported:
+    return "unsupported";
+  case ErrorKind::Io:
+    return "io error";
+  case ErrorKind::BudgetExhausted:
+    return "budget exhausted";
+  case ErrorKind::Internal:
+    return "internal error";
+  }
+  return "unknown error";
+}
+
+const char *omega::countStatusName(CountStatus S) {
+  switch (S) {
+  case CountStatus::Exact:
+    return "exact";
+  case CountStatus::Bounded:
+    return "bounded";
+  case CountStatus::Unbounded:
+    return "unbounded";
+  case CountStatus::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Error::toString() const {
+  std::string Out = errorKindName(Kind);
+  if (!Layer.empty()) {
+    Out += " in ";
+    Out += Layer;
+  }
+  if (!Location.empty()) {
+    Out += " at ";
+    Out += Location;
+  }
+  Out += ": ";
+  Out += Message;
+  return Out;
+}

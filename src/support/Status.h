@@ -1,0 +1,103 @@
+//===- support/Status.h - Recoverable error channel ------------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable-error channel of the counting pipeline.  Pugh motivates
+/// counting as a subroutine inside compilers and runtime systems (§6),
+/// where a query that aborts the host process is unacceptable; like
+/// isl_ctx's error state, every failure a *caller's input* can provoke is
+/// reported as a structured Error value (kind, layer, location) through
+/// Result<T> instead of a process abort.  fatalError (support/Error.h)
+/// remains only for genuinely unreachable internal states — see
+/// DESIGN.md §9 for the taxonomy and the list of surviving sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SUPPORT_STATUS_H
+#define OMEGA_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace omega {
+
+/// What went wrong, at the coarsest level callers dispatch on.
+enum class ErrorKind {
+  Parse,           ///< Malformed formula or file text.
+  InvalidInput,    ///< Well-formed text with unusable content (bad flags,
+                   ///< bad directives, inconsistent arities).
+  Unsupported,     ///< Valid input outside an API's contract (e.g.
+                   ///< Formula::tryEvaluate on a quantified formula).
+  Io,              ///< File system failure.
+  BudgetExhausted, ///< An EffortBudget limit tripped (support/Budget.h).
+  Internal,        ///< Invariant violation surfaced as a value (rare).
+};
+
+const char *errorKindName(ErrorKind K);
+
+/// One recoverable diagnostic: what, where in the pipeline, and where in
+/// the input.
+struct Error {
+  ErrorKind Kind = ErrorKind::Internal;
+  std::string Layer;    ///< Pipeline layer, e.g. "parser", "summation".
+  std::string Message;  ///< Human-readable description.
+  std::string Location; ///< Input position, e.g. "offset 12", "line 3".
+
+  /// Renders "parse error in parser at offset 12: unexpected character".
+  std::string toString() const;
+};
+
+/// Outcome of a whole counting query, for callers that want to dispatch
+/// without inspecting the value (the CountStatus channel of DESIGN.md §9).
+enum class CountStatus {
+  Exact,     ///< The answer is the exact count / sum.
+  Bounded,   ///< Budget exhausted: answer UNKNOWN, certified bounds given.
+  Unbounded, ///< The solution set is provably infinite.
+  Error,     ///< The query never produced a value; see the Error.
+};
+
+const char *countStatusName(CountStatus S);
+
+/// A value or an Error — the pipeline's expected-like return channel.
+template <typename T> class Result {
+public:
+  Result(T Value) : Val(std::move(Value)) {}
+  Result(Error E) : Err(std::move(E)) {}
+
+  explicit operator bool() const { return Val.has_value(); }
+  bool ok() const { return Val.has_value(); }
+
+  T &value() {
+    assert(Val && "value() on an error Result");
+    return *Val;
+  }
+  const T &value() const {
+    assert(Val && "value() on an error Result");
+    return *Val;
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  const Error &error() const {
+    assert(!Val && "error() on an ok Result");
+    return Err;
+  }
+
+  /// The value, or \p Fallback when this holds an error.
+  T valueOr(T Fallback) const { return Val ? *Val : std::move(Fallback); }
+
+private:
+  std::optional<T> Val;
+  Error Err;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SUPPORT_STATUS_H

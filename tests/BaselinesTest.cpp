@@ -40,6 +40,15 @@ TEST(EnumeratorTest, QuantifiersInBox) {
   EXPECT_FALSE(evaluateInBox(G, A, -4, 4));
 }
 
+TEST(EnumeratorTest, SimplifyThenEvaluateEscapesWitnessBox) {
+  // The witness for i = 5k at i = 20 is k = 4, outside the [-2, 2] witness
+  // box.  A raw box search would miss it; the oracle now eliminates the
+  // quantifier exactly (simplify-then-evaluate) before sweeping, so the
+  // count is right regardless of the witness box.
+  Formula F = parseFormulaOrDie("exists(k: i = 5*k) && 0 <= i <= 20");
+  EXPECT_EQ(enumerateCount(F, {"i"}, {}, 0, 20, -2, 2).toInt64(), 5);
+}
+
 /// Builds the clause of §6 Example 1: 1<=i<=n, 1<=j<=i, j<=k<=m.
 Conjunct example1Clause() {
   Conjunct C;

@@ -234,4 +234,61 @@ TEST(BigIntTest, HashConsistency) {
   EXPECT_NE(BigInt(7).hash(), BigInt(-7).hash());
 }
 
+TEST(BigIntTest, FloorCeilDivModCornerTable) {
+  // Negative-denominator and exact-division corners, table-driven:
+  // floorDiv rounds toward -inf, ceilDiv toward +inf, and
+  // floorMod(n, d) = n - floorDiv(n, |d|) * |d| lies in [0, |d|).
+  struct Case {
+    int64_t Num, Den, Floor, Ceil, Mod;
+  };
+  const Case Cases[] = {
+      {0, 5, 0, 0, 0},        {0, -5, 0, 0, 0},
+      {10, 5, 2, 2, 0},       {10, -5, -2, -2, 0},
+      {-10, 5, -2, -2, 0},    {-10, -5, 2, 2, 0},
+      {1, -2, -1, 0, 1},      {-1, -2, 0, 1, 1},
+      {5, -3, -2, -1, 2},     {-5, -3, 1, 2, 1},
+      {INT64_MAX, 1, INT64_MAX, INT64_MAX, 0},
+      {INT64_MAX, -1, -INT64_MAX, -INT64_MAX, 0},
+      {INT64_MIN, 1, INT64_MIN, INT64_MIN, 0},
+      {INT64_MIN, 2, INT64_MIN / 2, INT64_MIN / 2, 0},
+  };
+  for (const Case &C : Cases) {
+    BigInt N(C.Num), D(C.Den);
+    EXPECT_EQ(BigInt::floorDiv(N, D).toInt64(), C.Floor)
+        << C.Num << " fdiv " << C.Den;
+    EXPECT_EQ(BigInt::ceilDiv(N, D).toInt64(), C.Ceil)
+        << C.Num << " cdiv " << C.Den;
+    EXPECT_EQ(BigInt::floorMod(N, D).toInt64(), C.Mod)
+        << C.Num << " mod " << C.Den;
+  }
+  // INT64_MIN / -1 has magnitude 2^63 and only fits as a string.
+  EXPECT_EQ(BigInt::floorDiv(BigInt(INT64_MIN), BigInt(-1)).toString(),
+            "9223372036854775808");
+  EXPECT_EQ(BigInt::ceilDiv(BigInt(INT64_MIN), BigInt(-1)).toString(),
+            "9223372036854775808");
+  EXPECT_EQ(BigInt::floorMod(BigInt(INT64_MIN), BigInt(-1)).toInt64(), 0);
+  // floorDiv/ceilDiv differ only on inexact division, by exactly one.
+  for (int64_t Num : {-9, -4, -1, 1, 4, 9})
+    for (int64_t Den : {-7, -2, 2, 7}) {
+      BigInt F = BigInt::floorDiv(BigInt(Num), BigInt(Den));
+      BigInt Cl = BigInt::ceilDiv(BigInt(Num), BigInt(Den));
+      if (Num % Den == 0)
+        EXPECT_EQ(F, Cl) << Num << "/" << Den;
+      else
+        EXPECT_EQ(F + BigInt(1), Cl) << Num << "/" << Den;
+    }
+}
+
+TEST(BigIntTest, BitWidth) {
+  EXPECT_EQ(BigInt(0).bitWidth(), 0u);
+  EXPECT_EQ(BigInt(1).bitWidth(), 1u);
+  EXPECT_EQ(BigInt(-1).bitWidth(), 1u);
+  EXPECT_EQ(BigInt(255).bitWidth(), 8u);
+  EXPECT_EQ(BigInt(256).bitWidth(), 9u);
+  EXPECT_EQ(BigInt(INT64_MAX).bitWidth(), 63u);
+  EXPECT_EQ(BigInt(INT64_MIN).bitWidth(), 64u);
+  EXPECT_EQ(BigInt::pow(BigInt(2), 100).bitWidth(), 101u);
+  EXPECT_EQ((BigInt::pow(BigInt(2), 100) - BigInt(1)).bitWidth(), 100u);
+}
+
 } // namespace

@@ -29,6 +29,37 @@ TEST(AtomTest, ModCanonicalization) {
   EXPECT_EQ(P.constantValue(), rat(1));
 }
 
+TEST(AtomTest, ModConstantFoldsWhenModulusDividesCoefficients) {
+  // Table-driven: when the modulus divides every variable coefficient the
+  // canonicalized argument is a bare constant, so fromAtom must fold the
+  // atom to (constant mod m) — no periodic term survives.
+  struct Case {
+    int64_t CoeffN, CoeffM, Constant, Modulus, Folded;
+  };
+  const Case Cases[] = {
+      {6, 9, 7, 3, 1},   // (6n + 9m + 7) mod 3 == 1
+      {4, 0, 0, 2, 0},   // (4n) mod 2 == 0
+      {-6, 12, -5, 3, 1},  // negative coefficients and constant
+      {10, 5, 13, 5, 3},   // (10n + 5m + 13) mod 5 == 3
+  };
+  for (const Case &C : Cases) {
+    AffineExpr E = BigInt(C.CoeffN) * AffineExpr::variable("n") +
+                   BigInt(C.CoeffM) * AffineExpr::variable("m") +
+                   AffineExpr(C.Constant);
+    Atom A = Atom::mod(E, BigInt(C.Modulus));
+    EXPECT_TRUE(A.arg().isConstant())
+        << "canonicalization left a variable in " << C.CoeffN << "n + "
+        << C.CoeffM << "m + " << C.Constant << " mod " << C.Modulus;
+    QuasiPolynomial P = QuasiPolynomial::fromAtom(A);
+    EXPECT_TRUE(P.isConstant());
+    EXPECT_EQ(P.constantValue(), rat(C.Folded));
+  }
+  // Contrast: a coefficient the modulus does not divide keeps the term.
+  QuasiPolynomial Q = QuasiPolynomial::fromAtom(
+      Atom::mod(BigInt(2) * AffineExpr::variable("n"), BigInt(4)));
+  EXPECT_FALSE(Q.isConstant());
+}
+
 TEST(AtomTest, Evaluate) {
   Atom M = Atom::mod(AffineExpr::variable("n"), BigInt(4));
   EXPECT_EQ(M.evaluate({{"n", BigInt(7)}}).toInt64(), 3);

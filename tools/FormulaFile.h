@@ -57,9 +57,9 @@ inline std::vector<std::string> splitCommas(const std::string &S) {
 
 } // namespace formula_file_detail
 
-/// Reads \p Path into \p Out.  Returns false (with \p Err set) on I/O
-/// failure or a malformed/missing directive; the formula itself is not
-/// parsed here.
+/// Reads \p Path into \p Out.  Returns false (with \p Err set, carrying a
+/// 1-based source line number where one applies) on I/O failure or a
+/// malformed/missing directive; the formula itself is not parsed here.
 inline bool readFormulaFile(const std::string &Path, FormulaFile &Out,
                             std::string &Err) {
   std::ifstream File(Path);
@@ -70,20 +70,32 @@ inline bool readFormulaFile(const std::string &Path, FormulaFile &Out,
   Out.Path = Path;
   std::string Line;
   std::string Formula;
+  unsigned LineNo = 0;
   while (std::getline(File, Line)) {
+    ++LineNo;
     std::string T = formula_file_detail::trim(Line);
     if (T.empty() || T[0] == '#')
       continue;
     if (T.rfind("vars:", 0) == 0) {
       Out.Vars = formula_file_detail::splitCommas(T.substr(5));
+      if (Out.Vars.empty()) {
+        Err = "line " + std::to_string(LineNo) +
+              ": empty \"vars:\" directive";
+        return false;
+      }
       continue;
     }
     if (T.rfind("box:", 0) == 0) {
       std::istringstream IS(T.substr(4));
-      if (!(IS >> Out.BoxLo >> Out.BoxHi) || Out.BoxLo > Out.BoxHi) {
-        Err = "bad box: directive (want \"box: LO HI\")";
+      int64_t Lo, Hi;
+      std::string Rest;
+      if (!(IS >> Lo >> Hi) || (IS >> Rest) || Lo > Hi) {
+        Err = "line " + std::to_string(LineNo) +
+              ": bad box: directive (want \"box: LO HI\")";
         return false;
       }
+      Out.BoxLo = Lo;
+      Out.BoxHi = Hi;
       continue;
     }
     Formula += (Formula.empty() ? "" : " ") + T;

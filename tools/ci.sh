@@ -17,6 +17,50 @@ run_matrix() {
   cmake --build "$dir" -j
   echo "=== test: $dir"
   ctest --test-dir "$dir" --output-on-failure -j
+  abort_free_leg "$dir"
+}
+
+# Abort-free leg: every malformed input must exit 1 with a diagnostic and
+# every budget-starved query must exit 0 with certified bounds — an abort
+# (signal exit, code >= 128) fails the leg.  Runs inside each sanitizer
+# configuration so the degraded paths are exercised hardened too.
+abort_free_leg() {
+  dir=$1
+  echo "=== abort-free: $dir"
+  count="$dir/tools/omegacount"
+  lint="$dir/tools/omegalint"
+  for bad in "$root"/tests/corpus/bad/*.presburger; do
+    code=0
+    "$count" --budget=bits=64 --file "$bad" >/dev/null 2>&1 || code=$?
+    if [ "$code" -ne 1 ]; then
+      echo "abort-free: $bad: omegacount exited $code (want 1)" >&2
+      exit 1
+    fi
+    # overflow_literal is only malformed under a budget's bits= knob;
+    # omegalint takes no budget, so it legitimately accepts that one.
+    case $bad in *overflow_literal*) continue ;; esac
+    code=0
+    "$lint" --no-enumerate "$bad" >/dev/null 2>&1 || code=$?
+    if [ "$code" -ne 1 ]; then
+      echo "abort-free: $bad: omegalint exited $code (want 1)" >&2
+      exit 1
+    fi
+  done
+  # Tiny budget forced to exhaust over the example formulas: degraded
+  # answers are still answers, so the exit code must be 0.
+  for ex in "$root"/examples/formulas/*.presburger; do
+    for workers in 0 4; do
+      code=0
+      "$count" --file "$ex" --budget=clauses=1,depth=1 \
+        --workers "$workers" >/dev/null 2>&1 || code=$?
+      if [ "$code" -ne 0 ]; then
+        echo "abort-free: $ex: budget-starved omegacount exited $code" \
+             "(want 0, workers=$workers)" >&2
+        exit 1
+      fi
+    done
+  done
+  echo "=== abort-free: $dir clean"
 }
 
 # Tier 1: the default configuration every change must keep green.

@@ -19,12 +19,22 @@
 //   --sample           print one concrete solution per --at
 //   --workers N        worker threads for disjunct fan-out (0 = serial)
 //   --cache N          conjunct cache capacity; --no-cache disables it
+//   --budget SPEC      effort budget "bits=B,splinters=S,clauses=C,
+//                      depth=D,ms=M" (any subset); on exhaustion the count
+//                      degrades to UNKNOWN with certified bounds
 //   --stats            print pipeline statistics to stderr on exit
+//
+// Exit codes: 0 = answered (exact, unbounded, or certified bounds);
+//             1 = diagnostic (bad flags, malformed input, I/O failure, or
+//                 budget exhausted with no bounds to give).  Never aborts
+//                 on any text input.
 //
 //===----------------------------------------------------------------------===//
 
 #include "counting/Set.h"
+#include "counting/Summation.h"
 #include "presburger/Parser.h"
+#include "support/Budget.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
@@ -104,11 +114,13 @@ QuasiPolynomial parseSummand(const std::string &S) {
 
 } // namespace
 
-int main(int Argc, char **Argv) {
+int runTool(int Argc, char **Argv) {
   std::vector<std::string> Vars;
   std::string SumText;
   std::vector<Assignment> Ats;
   SumOptions Opts;
+  EffortBudget Budget;
+  bool HaveBudget = false;
   bool SimplifyOnly = false, Sample = false, Stats = false;
   std::string FormulaText, FilePath;
 
@@ -132,8 +144,19 @@ int main(int Argc, char **Argv) {
       }
       return 0;
     };
+    auto SetBudget = [&](const std::string &Spec) {
+      Result<EffortBudget> B = EffortBudget::parse(Spec);
+      if (!B)
+        fail(B.error().toString());
+      Budget = *B;
+      HaveBudget = true;
+    };
     if (Arg == "--vars")
       Vars = splitList(Next());
+    else if (Arg == "--budget")
+      SetBudget(Next());
+    else if (Arg.rfind("--budget=", 0) == 0)
+      SetBudget(Arg.substr(9));
     else if (Arg == "--file")
       FilePath = Next();
     else if (Arg == "--workers")
@@ -181,6 +204,10 @@ int main(int Argc, char **Argv) {
              "(0 = serial)\n"
              "  --cache N        conjunct cache capacity (entries); "
              "--no-cache disables\n"
+             "  --budget SPEC    effort budget, e.g. "
+             "\"bits=64,splinters=32,clauses=256,depth=24,ms=5000\";\n"
+             "                   on exhaustion prints UNKNOWN with certified "
+             "lower/upper bounds\n"
              "  --stats          print pipeline statistics to stderr\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-')
@@ -204,10 +231,79 @@ int main(int Argc, char **Argv) {
   }
   if (FormulaText.empty())
     fail("no formula given (try --help)");
-  ParseResult R = parseFormula(FormulaText);
-  if (!R)
-    fail("parse: " + R.Error);
-  Formula F = *R.Value;
+  Formula F = Formula::trueFormula();
+  {
+    // Parse under the budget so oversized literals are rejected before any
+    // arithmetic touches them (a parse diagnostic, not a throw).
+    BudgetScope Scope(HaveBudget
+                          ? std::make_shared<BudgetState>(Budget)
+                          : std::shared_ptr<BudgetState>());
+    ParseResult R = parseFormula(FormulaText);
+    if (!R)
+      fail("parse: " + R.Error);
+    F = *R.Value;
+  }
+
+  auto EmitStats = [&] {
+    if (Stats)
+      std::cerr << snapshotPipelineStats().toPretty();
+  };
+
+  if (HaveBudget && !Budget.unlimited()) {
+    // Budgeted path: no separate DNF print (the exact simplification is
+    // itself subject to the budget inside the budgeted summation).
+    if (SimplifyOnly) {
+      BudgetScope Scope(std::make_shared<BudgetState>(Budget));
+      SimplifyOptions SOpts;
+      SOpts.Disjoint = true;
+      std::vector<Conjunct> D = simplify(F, SOpts);
+      std::cout << "disjoint DNF (" << D.size() << " clause"
+                << (D.size() == 1 ? "" : "s") << "):\n";
+      for (const Conjunct &C : D)
+        std::cout << "  " << C << "\n";
+      EmitStats();
+      return 0;
+    }
+    if (Vars.empty())
+      fail("--vars required for counting");
+    const char *What = SumText.empty() ? "count" : "sum";
+    BudgetedCount BC =
+        SumText.empty()
+            ? countSolutionsBudgeted(F, VarSet(Vars.begin(), Vars.end()),
+                                     Budget, Opts)
+            : sumOverFormulaBudgeted(F, VarSet(Vars.begin(), Vars.end()),
+                                     parseSummand(SumText), Budget, Opts);
+    if (BC.Status == CountStatus::Error)
+      fail(BC.Err.toString());
+    if (BC.Status != CountStatus::Bounded) {
+      std::cout << What << ":\n  " << BC.Value << "\n";
+      if (!BC.Value.isUnbounded())
+        for (const Assignment &At : Ats) {
+          std::cout << "at";
+          for (const auto &[Name, Value] : At)
+            std::cout << " " << Name << "=" << Value;
+          std::cout << ": " << BC.Value.evaluate(At).toString() << "\n";
+        }
+      EmitStats();
+      return 0;
+    }
+    std::cout << What << ": UNKNOWN (budget exhausted: " << BC.TrippedLimit
+              << ")\n";
+    std::cout << "lower bound:\n  " << BC.Lower << "\n";
+    std::cout << "upper bound:\n  " << BC.Upper << "\n";
+    for (const Assignment &At : Ats) {
+      std::cout << "at";
+      for (const auto &[Name, Value] : At)
+        std::cout << " " << Name << "=" << Value;
+      std::cout << ": in [" << BC.Lower.evaluate(At).toString() << ", "
+                << (BC.Upper.isUnbounded()
+                        ? std::string("unbounded")
+                        : BC.Upper.evaluate(At).toString())
+                << "]\n";
+    }
+    EmitStats();
+    return 0;
+  }
 
   SimplifyOptions SOpts;
   SOpts.Disjoint = true;
@@ -216,10 +312,6 @@ int main(int Argc, char **Argv) {
             << (D.size() == 1 ? "" : "s") << "):\n";
   for (const Conjunct &C : D)
     std::cout << "  " << C << "\n";
-  auto EmitStats = [&] {
-    if (Stats)
-      std::cerr << snapshotPipelineStats().toPretty();
-  };
   if (SimplifyOnly) {
     EmitStats();
     return 0;
@@ -256,4 +348,18 @@ int main(int Argc, char **Argv) {
   }
   EmitStats();
   return 0;
+}
+
+int main(int Argc, char **Argv) {
+  // Nothing the user can type may abort the process: any escape —
+  // including a budget trip during --simplify-only, where there is no
+  // bounds fallback — becomes a one-line diagnostic and exit 1.
+  try {
+    return runTool(Argc, Argv);
+  } catch (const BudgetExceeded &E) {
+    std::cerr << "omegacount: error: " << E.toError().toString() << "\n";
+  } catch (const std::exception &E) {
+    std::cerr << "omegacount: error: " << E.what() << "\n";
+  }
+  return 1;
 }

@@ -186,9 +186,19 @@ void lintFile(const std::string &Path, LintStats &Stats) {
             << " symbol samples agree\n";
 }
 
+/// One file must never take down the whole lint run: any escape from the
+/// pipeline becomes a problem report and the sweep continues.
+void lintOne(const std::string &Path, LintStats &Stats) {
+  try {
+    lintFile(Path, Stats);
+  } catch (const std::exception &E) {
+    problem(Stats, Path, E.what());
+  }
+}
+
 } // namespace
 
-int main(int Argc, char **Argv) {
+int runTool(int Argc, char **Argv) {
   std::vector<std::string> Paths;
   bool PrintStats = false;
   for (int I = 1; I < Argc; ++I) {
@@ -201,10 +211,23 @@ int main(int Argc, char **Argv) {
       PrintStats = true;
     else if (Arg == "--workers") {
       if (++I >= Argc) {
-        std::cerr << "omegalint: missing value after --workers\n";
+        std::cerr << "omegalint: error: missing value after --workers\n";
         return 1;
       }
-      setWorkerCount(static_cast<unsigned>(std::atoi(Argv[I])));
+      std::string V = Argv[I];
+      long N = 0;
+      try {
+        size_t Pos = 0;
+        N = std::stol(V, &Pos);
+        if (Pos != V.size() || N < 0)
+          throw std::invalid_argument(V);
+      } catch (const std::exception &) {
+        std::cerr << "omegalint: error: expected a nonnegative integer "
+                     "after --workers: "
+                  << V << "\n";
+        return 1;
+      }
+      setWorkerCount(static_cast<unsigned>(N));
     } else if (Arg == "--help" || Arg == "-h") {
       std::cout << "usage: omegalint [--verbose] [--no-enumerate] "
                    "[--workers N] [--stats] <file-or-dir>...\n";
@@ -234,9 +257,9 @@ int main(int Argc, char **Argv) {
       if (Found.empty())
         problem(Stats, P, "no .presburger files found");
       for (const std::string &F : Found)
-        lintFile(F, Stats);
+        lintOne(F, Stats);
     } else {
-      lintFile(P, Stats);
+      lintOne(P, Stats);
     }
   }
 
@@ -248,4 +271,13 @@ int main(int Argc, char **Argv) {
   if (PrintStats)
     std::cerr << snapshotPipelineStats().toPretty();
   return Stats.Problems == 0 ? 0 : 1;
+}
+
+int main(int Argc, char **Argv) {
+  try {
+    return runTool(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::cerr << "omegalint: error: " << E.what() << "\n";
+  }
+  return 1;
 }
