@@ -11,6 +11,7 @@
 // timings, speedups, and pipeline counters is printed to stdout.
 //
 //   bench_pipeline [--quick] [--scale N] [--reps N] [--workers N]
+//                  [--out FILE]
 //
 // --quick shrinks the workload so the binary doubles as a smoke test
 // (wired into ctest); the JSON line is emitted either way.
@@ -25,6 +26,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -122,6 +124,7 @@ std::string jsonEscape(const std::string &S) {
 int main(int Argc, char **Argv) {
   int Scale = 8, Reps = 3;
   unsigned Workers = 4;
+  std::string OutPath;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto NextInt = [&](int Fallback) {
@@ -136,9 +139,11 @@ int main(int Argc, char **Argv) {
       Reps = NextInt(Reps);
     else if (Arg == "--workers")
       Workers = static_cast<unsigned>(NextInt(static_cast<int>(Workers)));
+    else if (Arg == "--out")
+      OutPath = ++I < Argc ? Argv[I] : "";
     else {
       std::cerr << "usage: bench_pipeline [--quick] [--scale N] [--reps N] "
-                   "[--workers N]\n";
+                   "[--workers N] [--out FILE]\n";
       return 1;
     }
   }
@@ -208,6 +213,14 @@ int main(int Argc, char **Argv) {
      << ",\"speedup_warm_cache\":" << SpeedupWarm
      << ",\"answers_identical\":true}";
   std::cout << JS.str() << "\n";
+  if (!OutPath.empty()) {
+    std::ofstream Out(OutPath);
+    if (!Out) {
+      std::cerr << "bench_pipeline: cannot write " << OutPath << "\n";
+      return 1;
+    }
+    Out << JS.str() << "\n";
+  }
 
   std::cerr << "bench_pipeline: answers identical across all configs; "
             << "cache x" << SpeedupCache << ", workers x" << SpeedupWorkers

@@ -111,8 +111,8 @@ BigInt Matrix::determinant() const {
     }
     for (unsigned I = K + 1; I < N; ++I)
       for (unsigned J = K + 1; J < N; ++J)
-        W.at(I, J) =
-            (W.at(I, J) * W.at(K, K) - W.at(I, K) * W.at(K, J)) / Prev;
+        W.at(I, J) = BigInt::divExact(
+            W.at(I, J) * W.at(K, K) - W.at(I, K) * W.at(K, J), Prev);
     Prev = W.at(K, K);
   }
   BigInt Det = W.at(N - 1, N - 1);

@@ -13,7 +13,7 @@ BigInt omega::binomial(unsigned N, unsigned K) {
   BigInt R(1);
   for (unsigned I = 1; I <= K; ++I) {
     R *= BigInt(N - K + I);
-    R /= BigInt(I); // Exact: product of I consecutive integers.
+    R = BigInt::divExact(R, BigInt(I)); // Product of I consecutive integers.
   }
   return R;
 }

@@ -105,6 +105,16 @@ AffineExpr &AffineExpr::operator*=(const BigInt &Factor) {
   return *this;
 }
 
+void AffineExpr::divCoeffsExact(const BigInt &G) {
+  assert(!G.isZero() && "division by zero");
+  if (G.isOne())
+    return;
+  for (auto &[Name, C] : Coeffs) {
+    (void)Name;
+    C = BigInt::divExact(C, G);
+  }
+}
+
 void AffineExpr::substitute(const std::string &Name,
                             const AffineExpr &Replacement) {
   auto It = Coeffs.find(Name);

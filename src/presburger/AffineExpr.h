@@ -62,6 +62,11 @@ public:
   AffineExpr &operator-=(const AffineExpr &RHS);
   AffineExpr &operator*=(const BigInt &Factor);
 
+  /// Divides every coefficient (not the constant) in place by \p G, which
+  /// must divide each exactly — the gcd-normalization hot path, where
+  /// rebuilding the coefficient map would allocate a node per term.
+  void divCoeffsExact(const BigInt &G);
+
   friend AffineExpr operator+(AffineExpr L, const AffineExpr &R) {
     return L += R;
   }

@@ -49,11 +49,8 @@ bool Constraint::normalize() {
     if (!G.divides(Expr.constant()))
       return false; // e.g. 2x + 1 = 0 has no integer solution.
     if (!G.isOne()) {
-      AffineExpr E;
-      E.setConstant(Expr.constant() / G);
-      for (const auto &[Name, C] : Expr.terms())
-        E.setCoeff(Name, C / G);
-      Expr = std::move(E);
+      Expr.setConstant(BigInt::divExact(Expr.constant(), G));
+      Expr.divCoeffsExact(G);
     }
     return true;
   }
@@ -63,11 +60,8 @@ bool Constraint::normalize() {
       return Expr.constant().sign() >= 0;
     if (!G.isOne()) {
       // Tightening: g*e + c >= 0 over integers iff e + floor(c/g) >= 0.
-      AffineExpr E;
-      E.setConstant(BigInt::floorDiv(Expr.constant(), G));
-      for (const auto &[Name, C] : Expr.terms())
-        E.setCoeff(Name, C / G);
-      Expr = std::move(E);
+      Expr.setConstant(BigInt::floorDiv(Expr.constant(), G));
+      Expr.divCoeffsExact(G);
     }
     return true;
   }

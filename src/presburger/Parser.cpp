@@ -233,6 +233,18 @@ private:
     return false;
   }
 
+  /// Parses an Int token's text through the fallible channel: the lexer
+  /// only emits digit runs, but tool-facing input must never be able to
+  /// reach BigInt's fatal-on-malformed string constructor.
+  std::optional<BigInt> intValue(const Token &T) {
+    BigInt V;
+    if (!BigInt::fromString(T.Text, V)) {
+      fail("malformed integer literal");
+      return std::nullopt;
+    }
+    return V;
+  }
+
   std::optional<Formula> parseOr() {
     std::optional<Formula> L = parseAnd();
     if (!L)
@@ -344,7 +356,10 @@ private:
   std::optional<Formula> parseAtom() {
     // Stride atom: INT '|' expr.
     if (peek().Kind == TokKind::Int && peek(1).Kind == TokKind::Bar) {
-      BigInt Mod(peek().Text);
+      std::optional<BigInt> ModV = intValue(peek());
+      if (!ModV)
+        return std::nullopt;
+      BigInt Mod = std::move(*ModV);
       Idx += 2;
       if (!Mod.isPositive()) {
         fail("stride modulus must be positive");
@@ -454,12 +469,14 @@ private:
           fail("expected integer modulus after 'mod'");
           return std::nullopt;
         }
-        BigInt Mod(advance().Text);
-        if (!Mod.isPositive()) {
+        std::optional<BigInt> Mod = intValue(advance());
+        if (!Mod)
+          return std::nullopt;
+        if (!Mod->isPositive()) {
           fail("modulus must be positive");
           return std::nullopt;
         }
-        LoweredExpr M = lowerMod(L->Expr, Mod);
+        LoweredExpr M = lowerMod(L->Expr, *Mod);
         M.Side.addAll(L->Side);
         std::swap(M.Side, L->Side);
         L->Expr = std::move(M.Expr);
@@ -472,8 +489,11 @@ private:
 
   std::optional<LoweredExpr> parseFactor() {
     if (peek().Kind == TokKind::Int) {
+      std::optional<BigInt> C = intValue(advance());
+      if (!C)
+        return std::nullopt;
       LoweredExpr E;
-      E.Expr = AffineExpr(BigInt(advance().Text));
+      E.Expr = AffineExpr(std::move(*C));
       return E;
     }
     if (peek().Kind == TokKind::Name) {
@@ -509,7 +529,10 @@ private:
         fail("expected integer divisor");
         return std::nullopt;
       }
-      BigInt Div(advance().Text);
+      std::optional<BigInt> DivV = intValue(advance());
+      if (!DivV)
+        return std::nullopt;
+      BigInt Div = std::move(*DivV);
       if (!Div.isPositive()) {
         fail("divisor must be positive");
         return std::nullopt;
@@ -546,13 +569,16 @@ ParseResult omega::parseFormula(std::string_view Text) {
   // input never reaches the solver at all.
   if (const std::shared_ptr<BudgetState> &B = activeBudget()) {
     if (uint64_t MaxBits = B->Limits.MaxCoefficientBits) {
-      for (const Token &T : Toks)
-        if (T.Kind == TokKind::Int && BigInt(T.Text).bitWidth() > MaxBits) {
+      for (const Token &T : Toks) {
+        BigInt V;
+        if (T.Kind == TokKind::Int &&
+            (!BigInt::fromString(T.Text, V) || V.bitWidth() > MaxBits)) {
           R.Error = "integer literal exceeds budget bits=" +
                     std::to_string(MaxBits) + " at offset " +
                     std::to_string(T.Pos);
           return R;
         }
+      }
     }
   }
   Parser P(std::move(Toks));

@@ -1,37 +1,115 @@
 //===- support/BigInt.cpp - Arbitrary-precision signed integers ----------===//
+//
+// Slow (limb) paths for the small-value-optimized BigInt.  The inline
+// int64 fast paths live in the header; everything here runs only when an
+// operand or result magnitude exceeds 2^62 - 1.
+//
+//===----------------------------------------------------------------------===//
 
 #include "support/BigInt.h"
 
+#include "support/Error.h"
+
 #include <algorithm>
-#include <bit>
 #include <ostream>
 
 using namespace omega;
 
 static constexpr uint64_t LimbBase = uint64_t(1) << 32;
 
-BigInt::BigInt(long long V) {
-  Negative = V < 0;
+//===----------------------------------------------------------------------===//
+// Representation management
+//===----------------------------------------------------------------------===//
+
+void BigInt::initLarge(long long V) {
+  // Only reached for |V| > SmallMax, i.e. V in (±2^62, ±2^63]; the
+  // magnitude always needs exactly two limbs.
+  bool Neg = V < 0;
   // Avoid UB negating LLONG_MIN by widening through unsigned.
-  uint64_t Mag = Negative ? ~static_cast<uint64_t>(V) + 1
-                          : static_cast<uint64_t>(V);
+  uint64_t Mag = Neg ? ~static_cast<uint64_t>(V) + 1
+                     : static_cast<uint64_t>(V);
+  Small = 0;
+  IsSmall = false;
+  Negative = Neg;
+  Limbs.assign({static_cast<uint32_t>(Mag),
+                static_cast<uint32_t>(Mag >> 32)});
+  detail::ArithStats.Spills.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BigInt::initLarge(unsigned long long V) {
+  Small = 0;
+  IsSmall = false;
+  Negative = false;
+  Limbs.assign({static_cast<uint32_t>(V), static_cast<uint32_t>(V >> 32)});
+  detail::ArithStats.Spills.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BigInt::setLarge(bool Neg, std::vector<uint32_t> &&Mag) {
+  while (!Mag.empty() && Mag.back() == 0)
+    Mag.pop_back();
+  if (Mag.size() <= 2) {
+    uint64_t V = 0;
+    if (Mag.size() > 1)
+      V = uint64_t(Mag[1]) << 32;
+    if (!Mag.empty())
+      V |= Mag[0];
+    if (V <= static_cast<uint64_t>(SmallMax)) {
+      // Unspill: re-establish the canonical inline form and release the
+      // limb storage (clear() would keep the heap buffer alive).
+      Small = Neg ? -static_cast<int64_t>(V) : static_cast<int64_t>(V);
+      IsSmall = true;
+      Negative = false;
+      std::vector<uint32_t>().swap(Limbs);
+      return;
+    }
+  }
+  Small = 0;
+  IsSmall = false;
+  Negative = Neg;
+  Limbs = std::move(Mag);
+  detail::ArithStats.Spills.fetch_add(1, std::memory_order_relaxed);
+}
+
+const std::vector<uint32_t> &
+BigInt::magnitudeLimbs(std::vector<uint32_t> &Storage) const {
+  if (!IsSmall)
+    return Limbs;
+  Storage.clear();
+  uint64_t Mag = smallMagnitude();
+  while (Mag != 0) {
+    Storage.push_back(static_cast<uint32_t>(Mag));
+    Mag >>= 32;
+  }
+  return Storage;
+}
+
+void BigInt::forceSpillForTesting() {
+  if (!IsSmall || Small == 0)
+    return;
+  bool Neg = Small < 0;
+  uint64_t Mag = smallMagnitude();
+  Small = 0;
+  IsSmall = false;
+  Negative = Neg;
+  Limbs.clear();
+  // Trimmed limbs (top limb nonzero), like every large value: the
+  // magnitude kernels rely on that shape.  The result still deliberately
+  // violates the |v| > SmallMax canonicality rule — that is the point of
+  // the hook — so it may hold only one limb, which fitsInt64/toInt64
+  // tolerate explicitly.
   while (Mag != 0) {
     Limbs.push_back(static_cast<uint32_t>(Mag));
     Mag >>= 32;
   }
 }
 
-BigInt::BigInt(unsigned long long V) {
-  uint64_t Mag = V;
-  while (Mag != 0) {
-    Limbs.push_back(static_cast<uint32_t>(Mag));
-    Mag >>= 32;
-  }
-}
+//===----------------------------------------------------------------------===//
+// Parsing and conversions
+//===----------------------------------------------------------------------===//
 
 BigInt::BigInt(std::string_view Decimal) {
-  [[maybe_unused]] bool OK = fromString(Decimal, *this);
-  assert(OK && "malformed decimal literal");
+  if (!fromString(Decimal, *this))
+    fatalError("BigInt: malformed decimal literal: " + std::string(Decimal));
 }
 
 bool BigInt::fromString(std::string_view Decimal, BigInt &Out) {
@@ -44,6 +122,20 @@ bool BigInt::fromString(std::string_view Decimal, BigInt &Out) {
   }
   if (I == Decimal.size())
     return false;
+  // Accumulate in a machine word while the value stays in the small range
+  // (the common case: every literal a formula can reasonably contain).
+  uint64_t Acc = 0;
+  for (; I < Decimal.size(); ++I) {
+    char C = Decimal[I];
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t D = static_cast<uint64_t>(C - '0');
+    if (Acc > (static_cast<uint64_t>(SmallMax) - D) / 10)
+      break;
+    Acc = Acc * 10 + D;
+  }
+  Out.Small = static_cast<int64_t>(Acc);
+  // Spill continuation for oversized literals.
   for (; I < Decimal.size(); ++I) {
     char C = Decimal[I];
     if (C < '0' || C > '9')
@@ -57,54 +149,69 @@ bool BigInt::fromString(std::string_view Decimal, BigInt &Out) {
 }
 
 bool BigInt::fitsInt64() const {
+  if (IsSmall)
+    return true;
   if (Limbs.size() > 2)
     return false;
-  if (Limbs.size() < 2)
-    return true;
-  uint64_t Mag = (uint64_t(Limbs[1]) << 32) | Limbs[0];
+  // A canonical large value always has two limbs, but a force-spilled
+  // small value (testing hook) may hold just one.
+  uint64_t Mag = Limbs.size() > 1 ? (uint64_t(Limbs[1]) << 32) | Limbs[0]
+                                  : Limbs[0];
   return Negative ? Mag <= (uint64_t(1) << 63)
                   : Mag < (uint64_t(1) << 63);
 }
 
 int64_t BigInt::toInt64() const {
+  if (IsSmall)
+    return Small;
   assert(fitsInt64() && "BigInt does not fit in int64_t");
-  uint64_t Mag = 0;
-  if (Limbs.size() > 1)
-    Mag = uint64_t(Limbs[1]) << 32;
-  if (!Limbs.empty())
-    Mag |= Limbs[0];
+  uint64_t Mag = Limbs.size() > 1 ? (uint64_t(Limbs[1]) << 32) | Limbs[0]
+                                  : Limbs[0];
   // Negate in unsigned arithmetic: for Mag == 2^63 (INT64_MIN's magnitude)
   // `-static_cast<int64_t>(Mag)` would negate INT64_MIN, which overflows.
   return static_cast<int64_t>(Negative ? ~Mag + 1 : Mag);
 }
 
-unsigned BigInt::bitWidth() const {
-  if (Limbs.empty())
-    return 0;
-  return static_cast<unsigned>(32 * (Limbs.size() - 1)) +
-         static_cast<unsigned>(std::bit_width(Limbs.back()));
-}
-
 double BigInt::toDouble() const {
+  if (IsSmall)
+    return static_cast<double>(Small);
   double R = 0;
   for (size_t I = Limbs.size(); I-- > 0;)
     R = R * 4294967296.0 + Limbs[I];
   return Negative ? -R : R;
 }
 
-BigInt BigInt::operator-() const {
-  BigInt R = *this;
-  if (!R.Limbs.empty())
-    R.Negative = !R.Negative;
-  return R;
+std::string BigInt::toString() const {
+  if (IsSmall)
+    return std::to_string(Small);
+  std::string Digits;
+  std::vector<uint32_t> Mag = Limbs;
+  const std::vector<uint32_t> Ten = {10};
+  while (!Mag.empty()) {
+    std::vector<uint32_t> Rem = Mag;
+    Mag = divModMagnitude(Rem, Ten);
+    Digits.push_back(static_cast<char>('0' + (Rem.empty() ? 0 : Rem[0])));
+  }
+  if (Negative)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
 }
 
-void BigInt::trim() {
-  while (!Limbs.empty() && Limbs.back() == 0)
-    Limbs.pop_back();
-  if (Limbs.empty())
-    Negative = false;
+size_t BigInt::hashSlow() const {
+  size_t H = Negative ? 0x9e3779b97f4a7c15ull : 0;
+  for (uint32_t L : Limbs)
+    H = H * 1000003ull + L;
+  return H;
 }
+
+std::ostream &omega::operator<<(std::ostream &OS, const BigInt &V) {
+  return OS << V.toString();
+}
+
+//===----------------------------------------------------------------------===//
+// Magnitude arithmetic (little-endian base-2^32 limb vectors)
+//===----------------------------------------------------------------------===//
 
 int BigInt::compareMagnitude(const std::vector<uint32_t> &A,
                              const std::vector<uint32_t> &B) {
@@ -273,62 +380,87 @@ BigInt::divModMagnitude(std::vector<uint32_t> &A,
   return Q;
 }
 
-BigInt &BigInt::operator+=(const BigInt &RHS) {
-  if (Negative == RHS.Negative) {
-    addMagnitude(Limbs, RHS.Limbs);
-  } else if (compareMagnitude(Limbs, RHS.Limbs) >= 0) {
-    subMagnitude(Limbs, RHS.Limbs);
+//===----------------------------------------------------------------------===//
+// Signed slow paths
+//===----------------------------------------------------------------------===//
+
+BigInt &BigInt::addSlow(const BigInt &RHS) {
+  noteSlowOp();
+  bool LN = isNegative(), RN = RHS.isNegative();
+  std::vector<uint32_t> LS, RS;
+  std::vector<uint32_t> A = magnitudeLimbs(LS); // Mutable copy of |LHS|.
+  const std::vector<uint32_t> &B = RHS.magnitudeLimbs(RS);
+  if (LN == RN) {
+    addMagnitude(A, B);
+    setLarge(LN, std::move(A));
+  } else if (compareMagnitude(A, B) >= 0) {
+    subMagnitude(A, B);
+    setLarge(LN, std::move(A));
   } else {
-    std::vector<uint32_t> Tmp = RHS.Limbs;
-    subMagnitude(Tmp, Limbs);
-    Limbs = std::move(Tmp);
-    Negative = RHS.Negative;
+    std::vector<uint32_t> C = B;
+    subMagnitude(C, A);
+    setLarge(RN, std::move(C));
   }
-  trim();
   return *this;
 }
 
-BigInt &BigInt::operator-=(const BigInt &RHS) { return *this += -RHS; }
+BigInt &BigInt::subSlow(const BigInt &RHS) { return addSlow(-RHS); }
 
-BigInt &BigInt::operator*=(const BigInt &RHS) {
-  Negative = Negative != RHS.Negative;
-  Limbs = mulMagnitude(Limbs, RHS.Limbs);
-  trim();
+BigInt &BigInt::mulSlow(const BigInt &RHS) {
+  noteSlowOp();
+  bool Neg = isNegative() != RHS.isNegative();
+  std::vector<uint32_t> LS, RS;
+  std::vector<uint32_t> R =
+      mulMagnitude(magnitudeLimbs(LS), RHS.magnitudeLimbs(RS));
+  setLarge(Neg, std::move(R));
   return *this;
 }
 
-BigInt &BigInt::operator/=(const BigInt &RHS) {
+void BigInt::divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
+                    BigInt &Rem) {
+  assert(!Den.isZero() && "division by zero");
+  if (Num.IsSmall && Den.IsSmall) {
+    int64_t Q = Num.Small / Den.Small, R = Num.Small % Den.Small;
+    noteFastOp();
+    Quot = BigInt(static_cast<long long>(Q));
+    Rem = BigInt(static_cast<long long>(R));
+    return;
+  }
+  noteSlowOp();
+  bool NN = Num.isNegative(), DN = Den.isNegative();
+  std::vector<uint32_t> NS, DS;
+  std::vector<uint32_t> A = Num.magnitudeLimbs(NS); // Becomes the remainder.
+  std::vector<uint32_t> Q = divModMagnitude(A, Den.magnitudeLimbs(DS));
+  // Build into locals first: Quot/Rem may alias Num/Den.
+  BigInt QV, RV;
+  QV.setLarge(NN != DN, std::move(Q));
+  // Truncated semantics: remainder keeps the dividend's sign.
+  RV.setLarge(NN, std::move(A));
+  Quot = std::move(QV);
+  Rem = std::move(RV);
+}
+
+BigInt &BigInt::divSlow(const BigInt &RHS) {
   BigInt Q, R;
   divMod(*this, RHS, Q, R);
   return *this = std::move(Q);
 }
 
-BigInt &BigInt::operator%=(const BigInt &RHS) {
+BigInt &BigInt::remSlow(const BigInt &RHS) {
   BigInt Q, R;
   divMod(*this, RHS, Q, R);
   return *this = std::move(R);
 }
 
-int BigInt::compare(const BigInt &RHS) const {
+int BigInt::compareSlow(const BigInt &RHS) const {
+  // Both operands hold the limb form here.
   if (Negative != RHS.Negative)
     return Negative ? -1 : 1;
   int C = compareMagnitude(Limbs, RHS.Limbs);
   return Negative ? -C : C;
 }
 
-void BigInt::divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
-                    BigInt &Rem) {
-  assert(!Den.isZero() && "division by zero");
-  Rem = Num;
-  Quot.Limbs = divModMagnitude(Rem.Limbs, Den.Limbs);
-  Quot.Negative = Num.Negative != Den.Negative;
-  Quot.trim();
-  Rem.trim();
-  // Truncated semantics: remainder keeps the dividend's sign.
-  Rem.Negative = !Rem.Limbs.empty() && Num.Negative;
-}
-
-BigInt BigInt::floorDiv(const BigInt &Num, const BigInt &Den) {
+BigInt BigInt::floorDivSlow(const BigInt &Num, const BigInt &Den) {
   BigInt Q, R;
   divMod(Num, Den, Q, R);
   if (!R.isZero() && (R.isNegative() != Den.isNegative()))
@@ -336,7 +468,7 @@ BigInt BigInt::floorDiv(const BigInt &Num, const BigInt &Den) {
   return Q;
 }
 
-BigInt BigInt::ceilDiv(const BigInt &Num, const BigInt &Den) {
+BigInt BigInt::ceilDivSlow(const BigInt &Num, const BigInt &Den) {
   BigInt Q, R;
   divMod(Num, Den, Q, R);
   if (!R.isZero() && (R.isNegative() == Den.isNegative()))
@@ -344,7 +476,7 @@ BigInt BigInt::ceilDiv(const BigInt &Num, const BigInt &Den) {
   return Q;
 }
 
-BigInt BigInt::floorMod(const BigInt &Num, const BigInt &Den) {
+BigInt BigInt::floorModSlow(const BigInt &Num, const BigInt &Den) {
   // Mathematical modulus: always in [0, |Den|).
   BigInt D = Den.abs();
   BigInt R = Num - floorDiv(Num, D) * D;
@@ -352,8 +484,18 @@ BigInt BigInt::floorMod(const BigInt &Num, const BigInt &Den) {
   return R;
 }
 
-BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
+BigInt BigInt::divExactSlow(const BigInt &Num, const BigInt &Den) {
+  BigInt Q, R;
+  divMod(Num, Den, Q, R);
+  assert(R.isZero() && "divExact: inexact division");
+  return Q;
+}
+
+BigInt BigInt::gcdSlow(const BigInt &A, const BigInt &B) {
+  noteSlowOp();
   BigInt X = A.abs(), Y = B.abs();
+  // Euclid on the full values; each remainder shrinks, so the loop drops
+  // onto the inline fast path as soon as both fit 62 bits.
   while (!Y.isZero()) {
     BigInt R = X % Y;
     X = std::move(Y);
@@ -365,7 +507,10 @@ BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
 BigInt BigInt::lcm(const BigInt &A, const BigInt &B) {
   if (A.isZero() || B.isZero())
     return BigInt(0);
-  return (A / gcd(A, B) * B).abs();
+  BigInt G = gcd(A, B);
+  // Divide before multiplying: the only product ever formed is the lcm
+  // itself, never the doubly-wide |A*B|.
+  return divExact(A.abs(), G) * B.abs();
 }
 
 BigInt BigInt::extendedGcd(const BigInt &A, const BigInt &B, BigInt &X,
@@ -408,36 +553,8 @@ BigInt BigInt::pow(const BigInt &A, unsigned E) {
   return R;
 }
 
-bool BigInt::divides(const BigInt &E) const {
+bool BigInt::dividesSlow(const BigInt &E) const {
   if (isZero())
     return E.isZero();
   return (E % *this).isZero();
-}
-
-std::string BigInt::toString() const {
-  if (isZero())
-    return "0";
-  std::string Digits;
-  std::vector<uint32_t> Mag = Limbs;
-  const std::vector<uint32_t> Ten = {10};
-  while (!Mag.empty()) {
-    std::vector<uint32_t> Rem = Mag;
-    Mag = divModMagnitude(Rem, Ten);
-    Digits.push_back(static_cast<char>('0' + (Rem.empty() ? 0 : Rem[0])));
-  }
-  if (Negative)
-    Digits.push_back('-');
-  std::reverse(Digits.begin(), Digits.end());
-  return Digits;
-}
-
-size_t BigInt::hash() const {
-  size_t H = Negative ? 0x9e3779b97f4a7c15ull : 0;
-  for (uint32_t L : Limbs)
-    H = H * 1000003ull + L;
-  return H;
-}
-
-std::ostream &omega::operator<<(std::ostream &OS, const BigInt &V) {
-  return OS << V.toString();
 }

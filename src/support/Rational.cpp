@@ -21,10 +21,12 @@ void Rational::normalize() {
     Den = BigInt(1);
     return;
   }
+  // Allocation-free on the small path: BigInt::gcd drops to the int64
+  // binary gcd and divExact skips the remainder computation.
   BigInt G = BigInt::gcd(Num, Den);
   if (!G.isOne()) {
-    Num /= G;
-    Den /= G;
+    Num = BigInt::divExact(Num, G);
+    Den = BigInt::divExact(Den, G);
   }
 }
 

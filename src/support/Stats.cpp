@@ -2,6 +2,8 @@
 
 #include "support/Stats.h"
 
+#include "support/BigInt.h"
+
 #include <sstream>
 
 using namespace omega;
@@ -18,6 +20,10 @@ void PipelineCounters::reset() {
   ParallelTasks = 0;
   BudgetTrips = 0;
   DegradedQueries = 0;
+  ArithCounters &A = arithCounters();
+  A.Spills = 0;
+  A.FastOps = 0;
+  A.SlowOps = 0;
   SimplifyNanos = 0;
   DisjointNanos = 0;
   CoalesceNanos = 0;
@@ -43,6 +49,10 @@ PipelineStatsSnapshot omega::snapshotPipelineStats() {
   S.ParallelTasks = C.ParallelTasks.load();
   S.BudgetTrips = C.BudgetTrips.load();
   S.DegradedQueries = C.DegradedQueries.load();
+  ArithCounters &A = arithCounters();
+  S.BigIntSpills = A.Spills.load();
+  S.BigIntFastOps = A.FastOps.load();
+  S.BigIntSlowOps = A.SlowOps.load();
   S.SimplifyNanos = C.SimplifyNanos.load();
   S.DisjointNanos = C.DisjointNanos.load();
   S.CoalesceNanos = C.CoalesceNanos.load();
@@ -71,6 +81,9 @@ std::string PipelineStatsSnapshot::toPretty() const {
      << " tasks)\n"
      << "  budget trips:        " << BudgetTrips << "\n"
      << "  degraded queries:    " << DegradedQueries << "\n"
+     << "  bigint spills:       " << BigIntSpills << "\n"
+     << "  bigint fast/slow ops: " << BigIntFastOps << "/" << BigIntSlowOps
+     << "\n"
      << "  simplify time:       " << ms(SimplifyNanos) << " ms\n"
      << "  disjoint time:       " << ms(DisjointNanos) << " ms\n"
      << "  coalesce time:       " << ms(CoalesceNanos) << " ms\n"
@@ -92,6 +105,9 @@ std::string PipelineStatsSnapshot::toJson() const {
      << "\"parallel_tasks\": " << ParallelTasks << ", "
      << "\"budget_trips\": " << BudgetTrips << ", "
      << "\"degraded_queries\": " << DegradedQueries << ", "
+     << "\"bigint_spills\": " << BigIntSpills << ", "
+     << "\"bigint_fast_ops\": " << BigIntFastOps << ", "
+     << "\"bigint_slow_ops\": " << BigIntSlowOps << ", "
      << "\"simplify_ms\": " << ms(SimplifyNanos) << ", "
      << "\"disjoint_ms\": " << ms(DisjointNanos) << ", "
      << "\"coalesce_ms\": " << ms(CoalesceNanos) << ", "

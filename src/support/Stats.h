@@ -46,6 +46,9 @@ struct PipelineCounters {
   // fell back to certified bounds instead of an exact answer.
   std::atomic<uint64_t> BudgetTrips{0};
   std::atomic<uint64_t> DegradedQueries{0};
+  // The BigInt small-value optimization (DESIGN.md §10) keeps its own
+  // counters in omega::arithCounters() so the header fast paths need not
+  // see this file; snapshots and reset() fold them in here.
   // Cumulative wall time per phase, in nanoseconds.
   std::atomic<uint64_t> SimplifyNanos{0};
   std::atomic<uint64_t> DisjointNanos{0};
@@ -65,6 +68,9 @@ struct PipelineStatsSnapshot {
   uint64_t CacheHits, CacheMisses, CacheEvictions;
   uint64_t ParallelBatches, ParallelTasks;
   uint64_t BudgetTrips, DegradedQueries;
+  // Arithmetic layer: limb (heap) representations produced, and the
+  // fast/slow per-op tallies (nonzero only under setArithOpCounting).
+  uint64_t BigIntSpills, BigIntFastOps, BigIntSlowOps;
   uint64_t SimplifyNanos, DisjointNanos, CoalesceNanos, SummationNanos;
 
   /// One-line-per-counter human form (for --stats).

@@ -291,4 +291,112 @@ TEST(BigIntTest, BitWidth) {
   EXPECT_EQ((BigInt::pow(BigInt(2), 100) - BigInt(1)).bitWidth(), 100u);
 }
 
+TEST(BigIntTest, LcmCorners) {
+  // Zeros: lcm(0, x) == 0 by convention, including lcm(0, 0).
+  EXPECT_EQ(BigInt::lcm(0, 0).toInt64(), 0);
+  EXPECT_EQ(BigInt::lcm(0, 7).toInt64(), 0);
+  EXPECT_EQ(BigInt::lcm(7, 0).toInt64(), 0);
+  // Signs never leak into the result.
+  EXPECT_EQ(BigInt::lcm(-4, -6).toInt64(), 12);
+  EXPECT_EQ(BigInt::lcm(4, -6).toInt64(), 12);
+  EXPECT_EQ(BigInt::lcm(-1, -1).toInt64(), 1);
+
+  // lcm near the int64/small-rep boundary: the (A/gcd)*B shape must not
+  // form the doubly-wide |A*B| when the lcm itself fits a machine word.
+  // lcm(2^62, 2) == 2^62 — the old A*B/g shape would have built 2^63.
+  BigInt TwoTo62 = BigInt::pow(BigInt(2), 62);
+  EXPECT_EQ(BigInt::lcm(TwoTo62, BigInt(2)), TwoTo62);
+  EXPECT_EQ(BigInt::lcm(-TwoTo62, BigInt(2)), TwoTo62);
+  // Coprime near-max operands do produce a genuinely large lcm.
+  BigInt P(INT64_MAX);           // 2^63 - 1 = 7^2 * 73 * 127 * 337 * ...
+  BigInt Q(INT64_MAX - 1);       // Even; coprime with 2^63 - 1.
+  BigInt L = BigInt::lcm(P, Q);
+  EXPECT_EQ(L, P * Q);
+  EXPECT_TRUE(L.divides(BigInt(0))); // Nonzero divides zero.
+  EXPECT_TRUE(P.divides(L));
+  EXPECT_TRUE(Q.divides(L));
+  // And the lcm respects the defining identity |A*B| == gcd*lcm.
+  EXPECT_EQ(BigInt::gcd(P, Q) * L, (P * Q).abs());
+}
+
+TEST(BigIntTest, DivExactMatchesDivision) {
+  const int64_t SmallMax = (int64_t(1) << 62) - 1;
+  const int64_t Cases[][2] = {{84, 7},       {-84, 7},   {84, -7},
+                              {-84, -7},     {0, 5},     {SmallMax - 3, 1},
+                              {SmallMax - 3, -1}};
+  for (auto [N, D] : Cases)
+    EXPECT_EQ(BigInt::divExact(BigInt(N), BigInt(D)), BigInt(N) / BigInt(D));
+  // Multi-limb: (2^200 * 3) / 2^100.
+  BigInt Big = BigInt::pow(BigInt(2), 200) * BigInt(3);
+  BigInt Den = BigInt::pow(BigInt(2), 100);
+  EXPECT_EQ(BigInt::divExact(Big, Den), Big / Den);
+}
+
+TEST(BigIntTest, SpillAndUnspillAtTheSmallBoundary) {
+  // SmallMax = 2^62 - 1 is the largest inline value; crossing it spills,
+  // coming back unspills, and == only ever sees canonical forms.
+  const int64_t SmallMaxI = (int64_t(1) << 62) - 1;
+  BigInt Edge(SmallMaxI);
+  EXPECT_TRUE(Edge.isSmallRep());
+  EXPECT_TRUE(BigInt(-SmallMaxI).isSmallRep());
+
+  BigInt Over = Edge + BigInt(1); // 2^62: first large value.
+  EXPECT_FALSE(Over.isSmallRep());
+  EXPECT_EQ(Over.toString(), "4611686018427387904");
+  EXPECT_FALSE((-Over).isSmallRep());
+
+  BigInt Back = Over - BigInt(1); // Back under the edge: unspills.
+  EXPECT_TRUE(Back.isSmallRep());
+  EXPECT_EQ(Back, Edge);
+  EXPECT_EQ(Back.hash(), Edge.hash());
+
+  // The same round trip through multiplication and division.
+  BigInt Doubled = Edge * BigInt(2);
+  EXPECT_FALSE(Doubled.isSmallRep());
+  EXPECT_TRUE((Doubled / BigInt(2)).isSmallRep());
+  EXPECT_EQ(Doubled / BigInt(2), Edge);
+
+  // Accumulator oscillating across the edge stays exact.
+  BigInt Acc = Edge;
+  for (int I = 0; I < 8; ++I) {
+    Acc += Edge;
+    Acc -= Edge;
+  }
+  EXPECT_TRUE(Acc.isSmallRep());
+  EXPECT_EQ(Acc, Edge);
+}
+
+TEST(BigIntTest, FromStringAtTheSmallBoundary) {
+  // 2^62 - 1 parses to the inline form, 2^62 to the limb form, and both
+  // round-trip through toString.
+  BigInt AtMax("4611686018427387903");
+  EXPECT_TRUE(AtMax.isSmallRep());
+  EXPECT_EQ(AtMax.toString(), "4611686018427387903");
+  BigInt OverMax("4611686018427387904");
+  EXPECT_FALSE(OverMax.isSmallRep());
+  EXPECT_EQ(OverMax.toString(), "4611686018427387904");
+  EXPECT_EQ(OverMax - BigInt(1), AtMax);
+  BigInt NegOver("-4611686018427387904");
+  EXPECT_FALSE(NegOver.isSmallRep());
+  EXPECT_EQ(NegOver, -OverMax);
+}
+
+TEST(BigIntTest, HashAgreesAcrossConstructionRoutes) {
+  // The same value reached via literal, arithmetic, and parsing must hash
+  // identically (unordered_map keys during conjunct memoization).
+  BigInt A(123456789);
+  BigInt B = BigInt(123456000) + BigInt(789);
+  BigInt C("123456789");
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_EQ(A.hash(), C.hash());
+  // Large values too, via different arithmetic routes.
+  BigInt X = BigInt::pow(BigInt(10), 30);
+  BigInt Y = BigInt::pow(BigInt(10), 15) * BigInt::pow(BigInt(10), 15);
+  EXPECT_EQ(X, Y);
+  EXPECT_EQ(X.hash(), Y.hash());
+  // Distinct signs hash differently (not required, but a regression in
+  // sign handling would surface here).
+  EXPECT_NE(A.hash(), (-A).hash());
+}
+
 } // namespace

@@ -18,6 +18,48 @@ run_matrix() {
   echo "=== test: $dir"
   ctest --test-dir "$dir" --output-on-failure -j
   abort_free_leg "$dir"
+  bench_leg "$dir"
+}
+
+# Bench leg: quick runs of the two benchmark gates.  Both binaries enforce
+# their own correctness claims (identical answers across configurations for
+# bench_pipeline; differential + golden checksums, zero allocations, and
+# zero spills for bench_arith) and exit nonzero on violation.  When python3
+# is available the emitted JSON is additionally parsed and its headline
+# fields checked; on the unsanitized default leg the small-value fast path
+# must beat the spilled limb path by >= 5x geomean (sanitizer
+# instrumentation distorts relative timings, so other legs skip the bar).
+bench_leg() {
+  dir=$1
+  echo "=== bench: $dir"
+  "$dir/bench/bench_arith" --quick --out "$dir/BENCH_arith.json" \
+    | grep -q "bench_arith: ok"
+  "$dir/bench/bench_pipeline" --quick --out "$dir/BENCH_pipeline.json" \
+    | grep -q "bench_pipeline: ok"
+  if command -v python3 >/dev/null 2>&1; then
+    strict=0
+    case $dir in *-default) strict=1 ;; esac
+    python3 - "$dir/BENCH_arith.json" "$dir/BENCH_pipeline.json" \
+        "$strict" <<'PYEOF'
+import json, sys
+arith = json.load(open(sys.argv[1]))
+pipe = json.load(open(sys.argv[2]))
+strict = sys.argv[3] == "1"
+assert arith["checks_passed"], "bench_arith self-checks failed"
+assert arith["small_allocations_total"] == 0, "small path allocated"
+assert arith["small_spills_total"] == 0, "small path spilled"
+assert all(s["checksum_ok"] for s in arith["sections"])
+assert pipe["answers_identical"], "bench_pipeline answers diverged"
+assert len(pipe["configs"]) == 5
+if strict:
+    assert arith["speedup_geomean"] >= 5.0, \
+        f"fast path only {arith['speedup_geomean']:.2f}x vs spilled (want >= 5x)"
+print("bench json: ok (geomean x%.1f)" % arith["speedup_geomean"])
+PYEOF
+  else
+    echo "bench json: python3 unavailable, JSON checks skipped"
+  fi
+  echo "=== bench: $dir clean"
 }
 
 # Abort-free leg: every malformed input must exit 1 with a diagnostic and

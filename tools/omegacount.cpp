@@ -165,8 +165,10 @@ int runTool(int Argc, char **Argv) {
       setConjunctCacheCapacity(static_cast<size_t>(NextCount()));
     else if (Arg == "--no-cache")
       setConjunctCacheCapacity(0);
-    else if (Arg == "--stats")
+    else if (Arg == "--stats") {
       Stats = true;
+      setArithOpCounting(true); // Fast/slow op tallies are off by default.
+    }
     else if (Arg == "--sum")
       SumText = Next();
     else if (Arg == "--at")

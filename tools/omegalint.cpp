@@ -207,8 +207,10 @@ int runTool(int Argc, char **Argv) {
       Verbose = true;
     else if (Arg == "--no-enumerate")
       Enumerate = false;
-    else if (Arg == "--stats")
+    else if (Arg == "--stats") {
       PrintStats = true;
+      setArithOpCounting(true); // Fast/slow op tallies are off by default.
+    }
     else if (Arg == "--workers") {
       if (++I >= Argc) {
         std::cerr << "omegalint: error: missing value after --workers\n";
