@@ -10,11 +10,14 @@
 // produce the identical piecewise answer, and one JSON object with the
 // timings, speedups, and pipeline counters is printed to stdout.
 //
-//   bench_pipeline [--quick] [--scale N] [--reps N] [--workers N]
-//                  [--out FILE]
+//   bench_pipeline [--quick] [--scale N] [--reps N] [--out FILE]
+//                  [shared flags: --workers/--cache/--budget/--stats/
+//                   --trace/--trace-summary]
 //
 // --quick shrinks the workload so the binary doubles as a smoke test
-// (wired into ctest); the JSON line is emitted either way.
+// (wired into ctest); the JSON line is emitted either way.  Queries go
+// through the CountOptions entry point (omega/Omega.h), so this benchmark
+// is also the dogfood test for the unified query API.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +26,8 @@
 #include "presburger/Var.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+
+#include "Options.h"
 
 #include <chrono>
 #include <cstdlib>
@@ -75,15 +80,24 @@ struct ConfigResult {
 };
 
 /// Runs the workload once under the given knobs from a fully reset state
-/// (unless \p Warm, which keeps the cache from the previous run).
+/// (unless \p Warm, which keeps the cache from the previous run).  Each
+/// query goes through the options-taking entry point — the per-query knob
+/// application there must be bit-identical to the legacy global setters.
 ConfigResult runConfig(const std::string &Name, int Scale, int Reps,
-                       unsigned Workers, size_t CacheCapacity, bool Warm) {
+                       unsigned Workers, size_t CacheCapacity, bool Warm,
+                       const EffortBudget &Budget, bool CountArithOps) {
   ConfigResult R;
   R.Name = Name;
   R.Workers = Workers;
   R.CacheCapacity = CacheCapacity;
-  setWorkerCount(Workers);
-  setConjunctCacheCapacity(CacheCapacity);
+
+  CountOptions CO;
+  CO.Workers = Workers;
+  CO.CacheEnabled = CacheCapacity > 0;
+  CO.CacheCapacity = CacheCapacity;
+  CO.Budget = Budget;
+  CO.CollectStats = true;
+  CO.CountArithOps = CountArithOps;
 
   double BestMs = -1;
   for (int Rep = 0; Rep < Reps; ++Rep) {
@@ -91,10 +105,9 @@ ConfigResult runConfig(const std::string &Name, int Scale, int Reps,
       clearConjunctCache();
       resetWildcardState();
     }
-    pipelineStats().reset();
     Formula F = workload(Scale);
     auto T0 = std::chrono::steady_clock::now();
-    PiecewiseValue V = countSolutions(F, VarSet{"i", "j"});
+    CountResult CR = countSolutions(F, VarSet{"i", "j"}, CO);
     auto T1 = std::chrono::steady_clock::now();
     double Ms =
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
@@ -102,10 +115,13 @@ ConfigResult runConfig(const std::string &Name, int Scale, int Reps,
             .count();
     if (BestMs < 0 || Ms < BestMs)
       BestMs = Ms;
-    R.Answer = V.toString();
+    R.Answer = CR.Status == CountStatus::Bounded
+                   ? "UNKNOWN[" + CR.Lower.toString() + ", " +
+                         CR.Upper.toString() + "]"
+                   : CR.Value.toString();
+    R.Stats = CR.Stats;
   }
   R.WallMs = BestMs;
-  R.Stats = snapshotPipelineStats();
   return R;
 }
 
@@ -123,10 +139,20 @@ std::string jsonEscape(const std::string &S) {
 
 int main(int Argc, char **Argv) {
   int Scale = 8, Reps = 3;
-  unsigned Workers = 4;
   std::string OutPath;
+  ToolOptions TO;
+  // The bench's parallel configurations default to 4 workers; a --workers
+  // flag overrides that (0 still benchmarks the parallel configs, just
+  // with a serial pool — useful for overhead measurements).
+  TO.Count.Workers = 4;
+  auto Fail = [](const std::string &Msg) {
+    std::cerr << "bench_pipeline: error: " << Msg << "\n";
+    std::exit(1);
+  };
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    if (parseSharedOption(Argc, Argv, I, TO, Fail))
+      continue;
     auto NextInt = [&](int Fallback) {
       return ++I < Argc ? std::atoi(Argv[I]) : Fallback;
     };
@@ -137,32 +163,34 @@ int main(int Argc, char **Argv) {
       Scale = NextInt(Scale);
     else if (Arg == "--reps")
       Reps = NextInt(Reps);
-    else if (Arg == "--workers")
-      Workers = static_cast<unsigned>(NextInt(static_cast<int>(Workers)));
     else if (Arg == "--out")
       OutPath = ++I < Argc ? Argv[I] : "";
     else {
       std::cerr << "usage: bench_pipeline [--quick] [--scale N] [--reps N] "
-                   "[--workers N] [--out FILE]\n";
+                   "[--out FILE] [shared options]\n"
+                << sharedOptionsHelp();
       return 1;
     }
   }
 
-  const size_t Cap = 1 << 14;
+  const unsigned Workers = TO.Count.Workers;
+  const size_t Cap = TO.Count.CacheEnabled ? TO.Count.CacheCapacity : 0;
+  const EffortBudget &Budget = TO.Count.Budget;
+  const bool Arith = TO.Count.CountArithOps;
+  startToolTrace(TO);
   std::vector<ConfigResult> Results;
-  Results.push_back(
-      runConfig("serial-nocache", Scale, Reps, 0, 0, /*Warm=*/false));
-  Results.push_back(
-      runConfig("serial-cache", Scale, Reps, 0, Cap, /*Warm=*/false));
+  Results.push_back(runConfig("serial-nocache", Scale, Reps, 0, 0,
+                              /*Warm=*/false, Budget, Arith));
+  Results.push_back(runConfig("serial-cache", Scale, Reps, 0, Cap,
+                              /*Warm=*/false, Budget, Arith));
   Results.push_back(runConfig("parallel-nocache", Scale, Reps, Workers, 0,
-                              /*Warm=*/false));
+                              /*Warm=*/false, Budget, Arith));
   Results.push_back(runConfig("parallel-cache", Scale, Reps, Workers, Cap,
-                              /*Warm=*/false));
+                              /*Warm=*/false, Budget, Arith));
   // Warm: same problem against the already-populated cache (the compiler
   // re-querying a dataflow fact it has seen before).
-  Results.push_back(
-      runConfig("parallel-cache-warm", Scale, Reps, Workers, Cap,
-                /*Warm=*/true));
+  Results.push_back(runConfig("parallel-cache-warm", Scale, Reps, Workers,
+                              Cap, /*Warm=*/true, Budget, Arith));
 
   // Every configuration must produce the identical answer — the
   // determinism contract, enforced here so a perf run can never silently
@@ -195,9 +223,9 @@ int main(int Argc, char **Argv) {
   unsigned Cores = std::thread::hardware_concurrency();
 
   std::ostringstream JS;
-  JS << "{\"bench\":\"pipeline\",\"scale\":" << Scale << ",\"reps\":" << Reps
-     << ",\"workers\":" << Workers << ",\"hardware_concurrency\":" << Cores
-     << ",\"configs\":[";
+  JS << "{\"schema\":2,\"bench\":\"pipeline\",\"scale\":" << Scale
+     << ",\"reps\":" << Reps << ",\"workers\":" << Workers
+     << ",\"hardware_concurrency\":" << Cores << ",\"configs\":[";
   for (size_t I = 0; I < Results.size(); ++I) {
     const ConfigResult &R = Results[I];
     if (I)
@@ -227,6 +255,10 @@ int main(int Argc, char **Argv) {
             << ", combined x" << SpeedupBoth << ", warm x" << SpeedupWarm
             << " (on " << Cores << " hardware core" << (Cores == 1 ? "" : "s")
             << ")\n";
+  if (!finishToolTrace(TO, "bench_pipeline"))
+    return 1;
+  if (TO.Stats)
+    std::cerr << snapshotPipelineStats().toPretty();
   std::cout << "bench_pipeline: ok\n";
   return 0;
 }

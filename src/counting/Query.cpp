@@ -1,0 +1,120 @@
+//===- counting/Query.cpp - Unified options-taking query entry point -----===//
+//
+// Implements omega::sumPolynomial / omega::countSolutions(CountOptions):
+// one entry point that applies a CountOptions (workers, cache, budget,
+// stats, tracing) for the duration of a query and restores the previous
+// process state on return.  The legacy process-global knobs keep working —
+// CountOptions{} defaults reproduce them — but new code should come in
+// through here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counting/Summation.h"
+
+#include "support/BigInt.h"
+#include "support/ThreadPool.h"
+
+using namespace omega;
+
+namespace {
+
+/// RAII: installs the query's knob settings and restores the previous
+/// values (the deprecated process globals double as the save slots, so a
+/// query nested inside legacy-configured code is transparent to it).
+class ScopedKnobs {
+public:
+  explicit ScopedKnobs(const CountOptions &Opts)
+      : PrevWorkers(workerCount()), PrevCache(conjunctCacheCapacity()),
+        PrevArith(arithCounters().CountOps.load(std::memory_order_relaxed)) {
+    setWorkerCount(Opts.Workers);
+    setConjunctCacheCapacity(Opts.CacheEnabled ? Opts.CacheCapacity : 0);
+    setArithOpCounting(Opts.CountArithOps);
+  }
+
+  ~ScopedKnobs() {
+    setWorkerCount(PrevWorkers);
+    setConjunctCacheCapacity(PrevCache);
+    setArithOpCounting(PrevArith);
+  }
+
+  ScopedKnobs(const ScopedKnobs &) = delete;
+  ScopedKnobs &operator=(const ScopedKnobs &) = delete;
+
+private:
+  unsigned PrevWorkers;
+  size_t PrevCache;
+  bool PrevArith;
+};
+
+PipelineStatsSnapshot subtract(const PipelineStatsSnapshot &After,
+                               const PipelineStatsSnapshot &Before) {
+  PipelineStatsSnapshot D = After;
+  D.FeasibilityTests -= Before.FeasibilityTests;
+  D.ProjectionCalls -= Before.ProjectionCalls;
+  D.ClausesSimplified -= Before.ClausesSimplified;
+  D.SplintersGenerated -= Before.SplintersGenerated;
+  D.CacheHits -= Before.CacheHits;
+  D.CacheMisses -= Before.CacheMisses;
+  D.CacheEvictions -= Before.CacheEvictions;
+  D.ParallelBatches -= Before.ParallelBatches;
+  D.ParallelTasks -= Before.ParallelTasks;
+  D.BudgetTrips -= Before.BudgetTrips;
+  D.DegradedQueries -= Before.DegradedQueries;
+  D.BigIntSpills -= Before.BigIntSpills;
+  D.BigIntFastOps -= Before.BigIntFastOps;
+  D.BigIntSlowOps -= Before.BigIntSlowOps;
+  D.SimplifyNanos -= Before.SimplifyNanos;
+  D.DisjointNanos -= Before.DisjointNanos;
+  D.CoalesceNanos -= Before.CoalesceNanos;
+  D.SummationNanos -= Before.SummationNanos;
+  return D;
+}
+
+} // namespace
+
+CountResult omega::sumPolynomial(const Formula &F, const VarSet &Vars,
+                                 const QuasiPolynomial &X,
+                                 const CountOptions &Opts) {
+  CountResult Out;
+  ScopedKnobs Knobs(Opts);
+  PipelineStatsSnapshot Before;
+  if (Opts.CollectStats)
+    Before = snapshotPipelineStats();
+  if (Opts.CollectTrace)
+    startTracing();
+
+  try {
+    if (Opts.Budget.unlimited()) {
+      // No budget: the exact pipeline cannot trip, so run it directly.
+      PiecewiseValue V = sumOverFormula(F, Vars, X);
+      Out.Status =
+          V.isUnbounded() ? CountStatus::Unbounded : CountStatus::Exact;
+      Out.Value = std::move(V);
+    } else {
+      BudgetedCount B = sumOverFormulaBudgeted(F, Vars, X, Opts.Budget);
+      Out.Status = B.Status;
+      Out.Value = std::move(B.Value);
+      Out.Lower = std::move(B.Lower);
+      Out.Upper = std::move(B.Upper);
+      Out.TrippedLimit = std::move(B.TrippedLimit);
+      Out.Err = std::move(B.Err);
+    }
+  } catch (...) {
+    // Stop the trace session before rethrowing so the process is not left
+    // tracing forever (the knobs restore via ScopedKnobs).
+    if (Opts.CollectTrace)
+      (void)stopTracing();
+    throw;
+  }
+
+  if (Opts.CollectTrace)
+    Out.Trace = stopTracing();
+  if (Opts.CollectStats)
+    Out.Stats = subtract(snapshotPipelineStats(), Before);
+  return Out;
+}
+
+CountResult omega::countSolutions(const Formula &F, const VarSet &Vars,
+                                  const CountOptions &Opts) {
+  return sumPolynomial(F, Vars, QuasiPolynomial(Rational(1)), Opts);
+}

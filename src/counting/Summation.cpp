@@ -13,6 +13,7 @@
 #include "support/Budget.h"
 #include "support/Error.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <optional>
@@ -433,6 +434,8 @@ private:
   /// via auxiliary wildcards) over counted variables as an affine image of
   /// fresh free variables using the Smith Normal Form, then recurses.
   void reparameterize(Conjunct C, VarSet Vars, QuasiPolynomial X) {
+    TraceSpan Span("snfReparam");
+    Span.count(TraceCounter::ConstraintsIn, C.constraints().size());
     // Strides touching counted variables become wildcard equalities.
     Conjunct WithEqs;
     for (const std::string &W : C.wildcards())
@@ -602,6 +605,8 @@ PiecewiseValue omega::sumOverConjunct(const Conjunct &C, const VarSet &Vars,
                                       const QuasiPolynomial &X,
                                       SumOptions Opts) {
   PhaseTimer Timer(pipelineStats().SummationNanos);
+  TraceSpan Span("summation");
+  Span.count(TraceCounter::ConstraintsIn, C.constraints().size());
   Summer S(Opts);
   S.sumClause(C, Vars, X);
   if (S.Unbounded)
@@ -735,6 +740,8 @@ PiecewiseValue omega::sumOverFormula(const Formula &F, const VarSet &Vars,
   // serial code stopped at the first unbounded clause; computing the rest
   // only costs time, never changes the answer.)
   PhaseTimer Timer(pipelineStats().SummationNanos);
+  TraceSpan Span("summation");
+  Span.count(TraceCounter::ClausesIn, Clauses.size());
   std::vector<PiecewiseValue> Parts(Clauses.size());
   std::vector<char> Unbounded(Clauses.size(), 0);
   forEachDisjunct(Clauses.size(), [&](size_t I) {
@@ -814,6 +821,7 @@ BudgetedCount omega::sumOverFormulaBudgeted(const Formula &F,
                                             const EffortBudget &Budget,
                                             SumOptions Opts) {
   BudgetedCount Out;
+  TraceSpan Span("countBudgeted");
   // Exact attempt under the budget.  On a clean run this is the only pass.
   try {
     BudgetScope Scope(std::make_shared<BudgetState>(Budget));
@@ -833,6 +841,7 @@ BudgetedCount omega::sumOverFormulaBudgeted(const Formula &F,
   // The relaxed budget keeps even the fallback from running away; shadow
   // modes never splinter, so it rarely trips.
   pipelineStats().DegradedQueries += 1;
+  Span.annotate("degraded", Out.TrippedLimit);
   Out.Status = CountStatus::Bounded;
   EffortBudget Relaxed = Budget.relaxed(8);
 

@@ -25,6 +25,7 @@
 
 #include "support/Cache.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <string>
@@ -97,9 +98,11 @@ bool omega::feasible(const Conjunct &C) {
     return false;
   if (std::optional<bool> Hit = feasCache().lookup(Canon.Key)) {
     pipelineStats().CacheHits += 1;
+    traceCount(TraceCounter::CacheHits);
     return *Hit;
   }
   pipelineStats().CacheMisses += 1;
+  traceCount(TraceCounter::CacheMisses);
   bool Result;
   {
     PinnedScope Pin;
@@ -112,6 +115,8 @@ bool omega::feasible(const Conjunct &C) {
 std::vector<Conjunct> omega::projectVars(const Conjunct &C, const VarSet &Vars,
                                          ShadowMode Mode) {
   pipelineStats().ProjectionCalls += 1;
+  TraceSpan Span("projectVars");
+  Span.count(TraceCounter::ConstraintsIn, C.constraints().size());
   // Projection always runs on the canonical clause under a pinned scope —
   // even with the cache disabled — so its result (including constraint
   // order within returned clauses) is a function of the clause alone, not
@@ -120,21 +125,27 @@ std::vector<Conjunct> omega::projectVars(const Conjunct &C, const VarSet &Vars,
   CanonicalConjunct Canon = canonicalConjunct(C);
   if (!cacheEnabled()) {
     PinnedScope Pin;
-    return detail::projectVarsImpl(Canon.C, Vars, Mode);
+    std::vector<Conjunct> Result = detail::projectVarsImpl(Canon.C, Vars, Mode);
+    Span.count(TraceCounter::ClausesOut, Result.size());
+    return Result;
   }
 
   std::string Key = projectionKey(Canon, Vars, Mode);
   if (std::optional<std::vector<Conjunct>> Hit = projCache().lookup(Key)) {
     pipelineStats().CacheHits += 1;
+    Span.count(TraceCounter::CacheHits);
+    Span.count(TraceCounter::ClausesOut, Hit->size());
     return std::move(*Hit);
   }
   pipelineStats().CacheMisses += 1;
+  Span.count(TraceCounter::CacheMisses);
   std::vector<Conjunct> Result;
   {
     PinnedScope Pin;
     Result = detail::projectVarsImpl(Canon.C, Vars, Mode);
   }
   pipelineStats().CacheEvictions += projCache().insert(Key, Result);
+  Span.count(TraceCounter::ClausesOut, Result.size());
   return Result;
 }
 

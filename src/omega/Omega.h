@@ -21,10 +21,16 @@
 #ifndef OMEGA_OMEGA_OMEGA_H
 #define OMEGA_OMEGA_OMEGA_H
 
+#include "poly/PiecewiseValue.h"
 #include "presburger/Conjunct.h"
 #include "presburger/Formula.h"
+#include "support/Budget.h"
+#include "support/Stats.h"
+#include "support/Status.h"
+#include "support/Trace.h"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -144,6 +150,9 @@ struct ConjunctCacheStats {
 
 /// Sets the per-cache entry capacity.  0 disables memoization entirely
 /// (every query recomputes); shrinking evicts LRU entries immediately.
+///
+/// Deprecated shim: prefer CountOptions::CacheEnabled/CacheCapacity
+/// (below), which apply per query instead of mutating process state.
 void setConjunctCacheCapacity(size_t Capacity);
 size_t conjunctCacheCapacity();
 
@@ -162,6 +171,80 @@ bool feasibleImpl(const Conjunct &C);
 std::vector<Conjunct> projectVarsImpl(const Conjunct &C, const VarSet &Vars,
                                       ShadowMode Mode);
 } // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Unified query API (counting/Query.cpp)
+//
+// One options-taking entry point for every counting/summation query.  The
+// pre-PR-5 way to configure a query was a set of mutable process globals
+// (setWorkerCount, setConjunctCacheCapacity, setArithOpCounting); those
+// remain as deprecated shims for one release, but new code should pass a
+// CountOptions instead — the entry point applies the options for the
+// duration of the query and restores the previous process state on return,
+// so concurrent callers with different options no longer trample each
+// other's knobs.
+//===----------------------------------------------------------------------===//
+
+/// Per-query configuration.  Field defaults reproduce the process defaults,
+/// so CountOptions{} behaves exactly like the legacy zero-configuration
+/// call.
+struct CountOptions {
+  /// Worker threads for disjunct fan-out; 0 and 1 both mean serial.
+  /// Results are bit-identical at every worker count (DESIGN.md §8).
+  unsigned Workers = 0;
+  /// Conjunct memoization (DESIGN.md §8).  Disabling forces every
+  /// feasibility/projection query to recompute.
+  bool CacheEnabled = true;
+  /// Per-cache entry capacity when the cache is enabled.
+  size_t CacheCapacity = size_t(1) << 14;
+  /// Effort budget (DESIGN.md §9).  Unlimited runs the exact pipeline
+  /// only; any limit arms the degradation path to certified bounds.
+  EffortBudget Budget;
+  /// Snapshot the pipeline counters across the query into
+  /// CountResult::Stats (a delta, so concurrent history does not leak in).
+  bool CollectStats = false;
+  /// Count BigInt fast/slow operations (small per-op cost; implies the
+  /// BigIntFastOps/BigIntSlowOps fields of the stats delta are meaningful).
+  bool CountArithOps = false;
+  /// Collect a hierarchical trace of the query into CountResult::Trace.
+  /// Tracing is process-wide and not reentrant: at most one traced query
+  /// at a time.
+  bool CollectTrace = false;
+};
+
+/// Outcome of a unified query.
+struct CountResult {
+  /// Exact, Bounded (degraded), Unbounded, or Error.
+  CountStatus Status = CountStatus::Error;
+  /// The answer; valid when Status == Exact (or Unbounded marker).
+  PiecewiseValue Value;
+  /// Degradation certificate, valid when Status == Bounded:
+  /// Lower(s) <= true answer(s) <= Upper(s) for every symbol binding.
+  PiecewiseValue Lower;
+  PiecewiseValue Upper;
+  /// The budget knob that tripped (empty on a clean exact run).
+  std::string TrippedLimit;
+  /// Valid when Status == Error.
+  Error Err;
+  /// Pipeline counter delta over this query (CollectStats).
+  PipelineStatsSnapshot Stats{};
+  /// The query's trace (CollectTrace); export with toChromeJson() /
+  /// toSummary().
+  std::shared_ptr<const TraceData> Trace;
+
+  bool exact() const { return Status == CountStatus::Exact; }
+};
+
+/// (Σ Vars : F : X) under \p Opts — THE entry point; every other overload
+/// delegates here.  Free variables of F and X outside Vars are the
+/// symbolic constants of the answer.
+CountResult sumPolynomial(const Formula &F, const VarSet &Vars,
+                          const QuasiPolynomial &X,
+                          const CountOptions &Opts = {});
+
+/// (Σ Vars : F : 1) under \p Opts: the number of solutions.
+CountResult countSolutions(const Formula &F, const VarSet &Vars,
+                           const CountOptions &Opts);
 
 } // namespace omega
 

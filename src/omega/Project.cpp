@@ -14,6 +14,7 @@
 #include "support/Budget.h"
 #include "support/Error.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -343,6 +344,7 @@ private:
     BigInt MaxA(1);
     for (const Bound &U : B.Uppers)
       MaxA = std::max(MaxA, U.Coef);
+    TraceSpan Span("splinter");
     for (const Bound &L : B.Lowers) {
       if (L.Coef.isOne())
         continue;
@@ -356,6 +358,7 @@ private:
                        AffineExpr(I);
         Spl.add(Constraint::eq(std::move(E)));
         chargeOneSplinter();
+        Span.count(TraceCounter::Splinters);
         run(std::move(Spl), Targets);
       }
     }
@@ -381,12 +384,14 @@ private:
         if (K >= C2 - BigInt(1))
           continue; // Window wide enough to always contain a point.
         // ab*v ∈ [a*L, a*L + k]: at most one multiple of ab per point.
+        TraceSpan Span("splinter");
         for (BigInt I(0); I <= K; ++I) {
           Conjunct Spl = C;
           AffineExpr E = C2 * AffineExpr::variable(V) - U.Coef * L.Expr -
                          AffineExpr(I);
           Spl.add(Constraint::eq(std::move(E)));
           chargeOneSplinter();
+          Span.count(TraceCounter::Splinters);
           run(std::move(Spl), Targets);
         }
         return;
@@ -412,6 +417,7 @@ private:
         // Miss region: b*U - a*L <= gap - 1.
         Miss.add(Constraint::ge(AffineExpr(Gap - BigInt(1)) - D));
         if (feasible(Miss)) {
+          TraceSpan Span("splinter");
           for (BigInt I(0); I < Gap; ++I)
             for (BigInt J(0); J <= I; ++J) {
               Conjunct Spl = C;
@@ -423,6 +429,7 @@ private:
                              U.Coef * L.Expr - AffineExpr(J);
               Spl.add(Constraint::eq(std::move(E)));
               chargeOneSplinter();
+              Span.count(TraceCounter::Splinters);
               run(std::move(Spl), Targets);
             }
         }

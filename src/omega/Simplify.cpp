@@ -15,6 +15,7 @@
 #include "support/Error.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <map>
@@ -97,6 +98,8 @@ std::vector<Conjunct> crossConjoin(const std::vector<Conjunct> &A,
                                    const std::vector<Conjunct> &B) {
   if (A.empty() || B.empty())
     return {};
+  TraceSpan Span("crossConjoin");
+  Span.count(TraceCounter::ClausesIn, A.size() * B.size());
   // The pair space is the quantity that blows up in DNF conversion, so it
   // is what the clause budget meters (a container-size check, identical
   // across worker schedules).
@@ -113,6 +116,7 @@ std::vector<Conjunct> crossConjoin(const std::vector<Conjunct> &A,
   for (std::optional<Conjunct> &M : Merged)
     if (M)
       Out.push_back(std::move(*M));
+  Span.count(TraceCounter::ClausesOut, Out.size());
   return Out;
 }
 
@@ -327,10 +331,15 @@ std::vector<Conjunct> omega::negateConjunct(const Conjunct &C) {
 std::vector<Conjunct> omega::simplify(const Formula &F, SimplifyOptions Opts) {
   assert((!Opts.Disjoint || Opts.Mode == ShadowMode::Exact) &&
          "disjoint DNF requires exact simplification");
+  TraceSpan Span("simplify");
   std::vector<Conjunct> D;
   {
     PhaseTimer Timer(pipelineStats().SimplifyNanos);
-    D = toDNF(F, Opts.Mode);
+    {
+      TraceSpan DnfSpan("toDNF");
+      D = toDNF(F, Opts.Mode);
+      DnfSpan.count(TraceCounter::ClausesOut, D.size());
+    }
     pruneInfeasible(D);
     pipelineStats().ClausesSimplified += D.size();
     forEachDisjunct(D.size(), [&](size_t I) {
@@ -340,12 +349,16 @@ std::vector<Conjunct> omega::simplify(const Formula &F, SimplifyOptions Opts) {
   }
   if (Opts.Disjoint) {
     PhaseTimer Timer(pipelineStats().DisjointNanos);
+    TraceSpan DisjointSpan("makeDisjoint");
+    DisjointSpan.count(TraceCounter::ClausesIn, D.size());
     D = makeDisjointImpl(std::move(D));
+    DisjointSpan.count(TraceCounter::ClausesOut, D.size());
   }
   coalesceClauses(D);
 #ifdef OMEGA_VALIDATE
   validateBoundary(D, Opts.Disjoint, "omega::simplify");
 #endif
+  Span.count(TraceCounter::ClausesOut, D.size());
   return D;
 }
 
@@ -407,7 +420,9 @@ void omega::coalesceClauses(std::vector<Conjunct> &Clauses) {
     size_t N = Clauses.size();
     pipelineStats().ParallelBatches += 1;
     pipelineStats().ParallelTasks += N;
+    const uint64_t TraceParent = currentTraceSpan();
     ThreadPool::instance().run(N, [&](size_t I) {
+      TraceTaskScope TraceScope(TraceParent);
       WildcardScope Scope("warm" + std::to_string(I));
       for (size_t J = I + 1; J < N; ++J)
         (void)coalescePair(Clauses[I], Clauses[J]);
@@ -553,7 +568,10 @@ std::vector<Conjunct> makeDisjointImpl(std::vector<Conjunct> Clauses) {
 
 std::vector<Conjunct> omega::makeDisjoint(std::vector<Conjunct> Clauses) {
   PhaseTimer Timer(pipelineStats().DisjointNanos);
+  TraceSpan Span("makeDisjoint");
+  Span.count(TraceCounter::ClausesIn, Clauses.size());
   std::vector<Conjunct> Result = makeDisjointImpl(std::move(Clauses));
+  Span.count(TraceCounter::ClausesOut, Result.size());
 #ifdef OMEGA_VALIDATE
   // Validate only at the public entry: the recursion above would otherwise
   // re-check every suffix of the clause list, turning the O(n²) overlap

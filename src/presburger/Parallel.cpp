@@ -5,6 +5,7 @@
 #include "support/Budget.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 using namespace omega;
 
@@ -21,8 +22,14 @@ void omega::forEachDisjunct(size_t N, const std::function<void(size_t)> &Fn) {
   // rethrows the first BudgetExceeded on the calling thread after the
   // batch drains, and the batch's partial results are discarded with it.
   const std::shared_ptr<BudgetState> Budget = activeBudget();
+  // Spans opened inside a task parent to the span that was open here on
+  // the enqueuing thread, so the exported tree has the same shape at every
+  // worker count (DESIGN.md §12).  Inline execution matches: the open span
+  // is then the parent directly.
+  const uint64_t TraceParent = currentTraceSpan();
   auto RunOne = [&](size_t I) {
     BudgetScope BS(Budget);
+    TraceTaskScope TS(TraceParent);
     WildcardScope Scope(Base + "t" + std::to_string(I));
     Fn(I);
   };

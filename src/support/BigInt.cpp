@@ -9,6 +9,7 @@
 #include "support/BigInt.h"
 
 #include "support/Error.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <ostream>
@@ -34,6 +35,7 @@ void BigInt::initLarge(long long V) {
   Limbs.assign({static_cast<uint32_t>(Mag),
                 static_cast<uint32_t>(Mag >> 32)});
   detail::ArithStats.Spills.fetch_add(1, std::memory_order_relaxed);
+  traceCount(TraceCounter::BigIntSpills);
 }
 
 void BigInt::initLarge(unsigned long long V) {
@@ -42,6 +44,7 @@ void BigInt::initLarge(unsigned long long V) {
   Negative = false;
   Limbs.assign({static_cast<uint32_t>(V), static_cast<uint32_t>(V >> 32)});
   detail::ArithStats.Spills.fetch_add(1, std::memory_order_relaxed);
+  traceCount(TraceCounter::BigIntSpills);
 }
 
 void BigInt::setLarge(bool Neg, std::vector<uint32_t> &&Mag) {
@@ -68,6 +71,7 @@ void BigInt::setLarge(bool Neg, std::vector<uint32_t> &&Mag) {
   Negative = Neg;
   Limbs = std::move(Mag);
   detail::ArithStats.Spills.fetch_add(1, std::memory_order_relaxed);
+  traceCount(TraceCounter::BigIntSpills);
 }
 
 const std::vector<uint32_t> &

@@ -55,6 +55,9 @@ inline ArithCounters &arithCounters() { return detail::ArithStats; }
 
 /// Enables/disables the per-operation fast/slow counters (spills are
 /// always counted).  Does not reset existing tallies.
+///
+/// Deprecated shim: prefer CountOptions::CountArithOps (omega/Omega.h),
+/// which applies per query instead of mutating process state.
 inline void setArithOpCounting(bool Enable) {
   detail::ArithStats.CountOps.store(Enable, std::memory_order_relaxed);
 }

@@ -3,6 +3,7 @@
 #include "support/Budget.h"
 
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <chrono>
 
@@ -114,6 +115,7 @@ void BudgetState::trip(const std::string &Limit, const std::string &Where) {
   // checkpoints; the throw below carries the authoritative signal.
   Cancelled.store(true, std::memory_order_relaxed);
   pipelineStats().BudgetTrips += 1;
+  traceAnnotate("budget_trip", Limit + " at " + Where);
   throw BudgetExceeded(Limit, Where);
 }
 
@@ -140,6 +142,7 @@ void omega::budgetCheckpoint(const char *Where) {
 
 void omega::chargeSplinters(uint64_t Count, const char *Where) {
   budgetCheckpoint(Where);
+  traceCount(TraceCounter::BudgetCharges);
   BudgetState *B = ActiveBudget.get();
   if (!B)
     return;
@@ -150,6 +153,7 @@ void omega::chargeSplinters(uint64_t Count, const char *Where) {
 
 void omega::chargeClauses(uint64_t Count, const char *Where) {
   budgetCheckpoint(Where);
+  traceCount(TraceCounter::BudgetCharges);
   BudgetState *B = ActiveBudget.get();
   if (!B)
     return;
@@ -160,6 +164,7 @@ void omega::chargeClauses(uint64_t Count, const char *Where) {
 
 void omega::chargeDepth(uint64_t Depth, const char *Where) {
   budgetCheckpoint(Where);
+  traceCount(TraceCounter::BudgetCharges);
   BudgetState *B = ActiveBudget.get();
   if (!B)
     return;
@@ -170,6 +175,7 @@ void omega::chargeDepth(uint64_t Depth, const char *Where) {
 
 void omega::chargeCoefficientBits(uint64_t Bits, const char *Where) {
   budgetCheckpoint(Where);
+  traceCount(TraceCounter::BudgetCharges);
   BudgetState *B = ActiveBudget.get();
   if (!B)
     return;

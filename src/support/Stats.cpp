@@ -92,8 +92,12 @@ std::string PipelineStatsSnapshot::toPretty() const {
 }
 
 std::string PipelineStatsSnapshot::toJson() const {
+  // Key order is part of the schema: "schema" first, then the counters in
+  // declaration order.  Bump the schema number on any key change so CI and
+  // dashboards can detect drift (tools/ci.sh asserts it).
   std::ostringstream OS;
   OS << "{"
+     << "\"schema\": 2, "
      << "\"feasibility_tests\": " << FeasibilityTests << ", "
      << "\"projection_calls\": " << ProjectionCalls << ", "
      << "\"clauses_simplified\": " << ClausesSimplified << ", "

@@ -33,6 +33,9 @@ namespace omega {
 /// both mean "serial": all work runs inline on the calling thread, and the
 /// pipeline is required to produce bit-identical results for every worker
 /// count (see DESIGN.md §8).  Thread-safe; takes effect on the next batch.
+///
+/// Deprecated shim: prefer CountOptions::Workers (omega/Omega.h), which
+/// applies per query instead of mutating process state.
 void setWorkerCount(unsigned N);
 
 /// The current worker-count knob (not the number of live threads).

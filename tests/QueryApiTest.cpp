@@ -1,0 +1,200 @@
+//===- tests/QueryApiTest.cpp - CountOptions entry point differential ----===//
+//
+// The unified options-taking entry point (omega/Omega.h) must be a pure
+// repackaging of the legacy global-knob API: for any formula and any knob
+// setting, countSolutions(F, Vars, Opts) returns the *textually* identical
+// answer to configuring the process globals by hand — and it must restore
+// those globals on return, so a query nested inside legacy-configured code
+// is invisible to it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzGen.h"
+
+#include "counting/Summation.h"
+#include "omega/Omega.h"
+#include "presburger/Parser.h"
+#include "presburger/Var.h"
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace omega;
+
+namespace {
+
+constexpr size_t kDefaultCap = size_t(1) << 14;
+
+/// Legacy path: configure the process globals, reset, count.
+std::string legacyCount(const Formula &F, const VarSet &Vars,
+                        unsigned Workers, size_t Cap) {
+  setWorkerCount(Workers);
+  setConjunctCacheCapacity(Cap);
+  clearConjunctCache();
+  resetWildcardState();
+  PiecewiseValue V = countSolutions(F, Vars);
+  setWorkerCount(0);
+  setConjunctCacheCapacity(kDefaultCap);
+  return V.toString();
+}
+
+/// New path: identical knobs via CountOptions, with the process globals
+/// deliberately parked at *different* values to prove the options win.
+std::string optionsCount(const Formula &F, const VarSet &Vars,
+                         unsigned Workers, size_t Cap) {
+  setWorkerCount(Workers ? 0 : 2);
+  setConjunctCacheCapacity(Cap ? 0 : kDefaultCap);
+  clearConjunctCache();
+  resetWildcardState();
+  CountOptions CO;
+  CO.Workers = Workers;
+  CO.CacheEnabled = Cap > 0;
+  CO.CacheCapacity = Cap;
+  CountResult CR = countSolutions(F, Vars, CO);
+  EXPECT_TRUE(CR.Status == CountStatus::Exact ||
+              CR.Status == CountStatus::Unbounded);
+  EXPECT_EQ(CR.exact(), !CR.Value.isUnbounded());
+  // The parked globals must be back untouched.
+  EXPECT_EQ(workerCount(), Workers ? 0u : 2u);
+  EXPECT_EQ(conjunctCacheCapacity(), Cap ? 0u : kDefaultCap);
+  setWorkerCount(0);
+  setConjunctCacheCapacity(kDefaultCap);
+  return CR.Value.toString();
+}
+
+TEST(QueryApi, DifferentialFuzzCorpus) {
+  struct Config {
+    unsigned Workers;
+    size_t Cap;
+  };
+  const Config Configs[] = {{0, kDefaultCap}, {4, kDefaultCap}, {4, 0}};
+
+  fuzz::Generator Gen(/*Seed=*/23);
+  for (int Case = 0; Case < 30; ++Case) {
+    fuzz::FuzzCase FC = Gen.next();
+    SCOPED_TRACE("fuzz case " + std::to_string(Case) + ": " + FC.Text);
+    ParseResult R = parseFormula(FC.Text);
+    ASSERT_TRUE(R) << R.Error;
+    VarSet Vars(FC.Vars.begin(), FC.Vars.end());
+    for (const Config &C : Configs) {
+      std::string Legacy = legacyCount(*R.Value, Vars, C.Workers, C.Cap);
+      std::string New = optionsCount(*R.Value, Vars, C.Workers, C.Cap);
+      EXPECT_EQ(New, Legacy)
+          << "workers=" << C.Workers << " cache=" << C.Cap << " diverged";
+    }
+  }
+}
+
+TEST(QueryApi, SumPolynomialDifferential) {
+  ParseResult R = parseFormula("1 <= i <= n && i <= j <= n");
+  ASSERT_TRUE(R) << R.Error;
+  VarSet Vars{"i", "j"};
+  QuasiPolynomial X = QuasiPolynomial::variable("i");
+
+  clearConjunctCache();
+  resetWildcardState();
+  std::string Legacy = sumOverFormula(*R.Value, Vars, X).toString();
+
+  clearConjunctCache();
+  resetWildcardState();
+  CountResult CR = sumPolynomial(*R.Value, Vars, X);
+  EXPECT_TRUE(CR.exact());
+  EXPECT_EQ(CR.Value.toString(), Legacy);
+}
+
+TEST(QueryApi, BudgetedDifferential) {
+  // Two clauses against a one-clause budget: both paths must degrade to
+  // the same certified bounds, not just the same status.
+  ParseResult R = parseFormula("1 <= i <= 10 || 20 <= i <= 24");
+  ASSERT_TRUE(R) << R.Error;
+  VarSet Vars{"i"};
+  auto Budget = EffortBudget::parse("clauses=1");
+  ASSERT_TRUE(Budget.ok());
+
+  clearConjunctCache();
+  resetWildcardState();
+  BudgetedCount Legacy = countSolutionsBudgeted(*R.Value, Vars, *Budget);
+
+  clearConjunctCache();
+  resetWildcardState();
+  CountOptions CO;
+  CO.Budget = *Budget;
+  CountResult CR = countSolutions(*R.Value, Vars, CO);
+
+  ASSERT_EQ(Legacy.Status, CountStatus::Bounded);
+  EXPECT_EQ(CR.Status, Legacy.Status);
+  EXPECT_EQ(CR.TrippedLimit, Legacy.TrippedLimit);
+  EXPECT_EQ(CR.Lower.toString(), Legacy.Lower.toString());
+  EXPECT_EQ(CR.Upper.toString(), Legacy.Upper.toString());
+
+  // A generous budget through the options path stays exact.
+  auto Big = EffortBudget::parse("clauses=64");
+  ASSERT_TRUE(Big.ok());
+  clearConjunctCache();
+  resetWildcardState();
+  CountOptions CO2;
+  CO2.Budget = *Big;
+  CountResult Exact = countSolutions(*R.Value, Vars, CO2);
+  EXPECT_TRUE(Exact.exact());
+  EXPECT_EQ(Exact.Value.toString(), "(15)");
+  EXPECT_TRUE(Exact.TrippedLimit.empty());
+}
+
+TEST(QueryApi, StatsAreAPerQueryDelta) {
+  ParseResult R = parseFormula("1 <= i <= n && i <= j <= n");
+  ASSERT_TRUE(R) << R.Error;
+  VarSet Vars{"i", "j"};
+  CountOptions CO;
+  CO.CollectStats = true;
+
+  // Two identical serial queries from reset state: each delta covers only
+  // its own query, so the two snapshots agree even though the cumulative
+  // process counters doubled.
+  clearConjunctCache();
+  resetWildcardState();
+  CountResult First = countSolutions(*R.Value, Vars, CO);
+  clearConjunctCache();
+  resetWildcardState();
+  CountResult Second = countSolutions(*R.Value, Vars, CO);
+
+  EXPECT_GT(First.Stats.FeasibilityTests, 0u);
+  EXPECT_EQ(First.Stats.FeasibilityTests, Second.Stats.FeasibilityTests);
+  EXPECT_EQ(First.Stats.ProjectionCalls, Second.Stats.ProjectionCalls);
+  EXPECT_EQ(First.Stats.CacheMisses, Second.Stats.CacheMisses);
+
+  // Stats off: the snapshot stays zeroed rather than leaking totals.
+  CountOptions Off;
+  CountResult Plain = countSolutions(*R.Value, Vars, Off);
+  EXPECT_EQ(Plain.Stats.FeasibilityTests, 0u);
+}
+
+TEST(QueryApi, TraceHandleCapturesTheQuery) {
+  ParseResult R = parseFormula(
+      "exists(b: 0 <= 3*b - a <= 7 && 1 <= a - 2*b <= 5)");
+  ASSERT_TRUE(R) << R.Error;
+  CountOptions CO;
+  CO.CollectTrace = true;
+  clearConjunctCache();
+  resetWildcardState();
+  CountResult CR = countSolutions(*R.Value, VarSet{"a"}, CO);
+  EXPECT_TRUE(CR.exact());
+  ASSERT_TRUE(CR.Trace);
+  EXPECT_FALSE(tracingEnabled()) << "query left the process tracing";
+  EXPECT_FALSE(CR.Trace->Spans.empty());
+  bool SawSimplify = false;
+  for (const TraceSpanRecord &S : CR.Trace->Spans)
+    SawSimplify |= std::string(S.Name) == "simplify";
+  EXPECT_TRUE(SawSimplify);
+
+  // Without the flag there is no handle and no session left behind.
+  CountOptions Off;
+  CountResult Plain = countSolutions(*R.Value, VarSet{"a"}, Off);
+  EXPECT_FALSE(Plain.Trace);
+  EXPECT_FALSE(tracingEnabled());
+}
+
+} // namespace

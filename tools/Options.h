@@ -1,0 +1,160 @@
+//===- tools/Options.h - Shared tool flag parsing --------------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flags every pipeline tool shares — --workers, --cache/--no-cache,
+/// --budget, --stats, --trace, --trace-summary — parsed once, into a
+/// CountOptions.  omegacount, omegalint, and bench_pipeline each call
+/// parseSharedOption() from their argv loop so the flags behave (and are
+/// documented) identically everywhere; tool-specific flags stay in the
+/// tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_TOOLS_OPTIONS_H
+#define OMEGA_TOOLS_OPTIONS_H
+
+#include "omega/Omega.h"
+#include "support/BigInt.h"
+#include "support/ThreadPool.h"
+
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+
+namespace omega {
+
+/// Shared tool configuration: the query options plus the tool-side
+/// reporting toggles they imply.
+struct ToolOptions {
+  CountOptions Count;
+  /// --budget was given (Count.Budget may still be all-unlimited).
+  bool HaveBudget = false;
+  /// --stats: print the pipeline counter summary to stderr on exit.
+  bool Stats = false;
+  /// --trace FILE: write Chrome trace_event JSON here.
+  std::string TraceFile;
+  /// --trace-summary: print the per-phase self-time table to stderr.
+  bool TraceSummary = false;
+
+  bool wantTrace() const { return !TraceFile.empty() || TraceSummary; }
+};
+
+/// The shared block for --help texts (one string so the tools cannot
+/// drift apart).
+inline const char *sharedOptionsHelp() {
+  return "  --workers N      worker threads for disjunct fan-out "
+         "(0 = serial)\n"
+         "  --cache N        conjunct cache capacity (entries); "
+         "--no-cache disables\n"
+         "  --budget SPEC    effort budget, e.g. "
+         "\"bits=64,splinters=32,clauses=256,depth=24,ms=5000\";\n"
+         "                   on exhaustion degrades to certified bounds\n"
+         "  --stats          print pipeline statistics to stderr\n"
+         "  --trace FILE     write a Chrome trace_event JSON of the run "
+         "(chrome://tracing)\n"
+         "  --trace-summary  print per-phase span/self-time summary to "
+         "stderr\n";
+}
+
+/// Consumes Argv[I] if it is one of the shared flags, advancing \p I past
+/// any flag value.  Returns true iff the argument was consumed.  \p Fail
+/// is called with a message (and must not return) on a malformed value.
+inline bool
+parseSharedOption(int Argc, char **Argv, int &I, ToolOptions &Opts,
+                  const std::function<void(const std::string &)> &Fail) {
+  std::string Arg = Argv[I];
+  auto Next = [&]() -> std::string {
+    if (++I >= Argc)
+      Fail("missing value after " + Arg);
+    return Argv[I];
+  };
+  auto NextCount = [&]() -> unsigned long long {
+    std::string V = Next();
+    unsigned long long N = 0;
+    if (V.empty())
+      Fail("expected a nonnegative integer after " + Arg);
+    for (char C : V) {
+      if (C < '0' || C > '9')
+        Fail("expected a nonnegative integer after " + Arg + ": " + V);
+      N = N * 10 + static_cast<unsigned long long>(C - '0');
+    }
+    return N;
+  };
+  auto SetBudget = [&](const std::string &Spec) {
+    Result<EffortBudget> B = EffortBudget::parse(Spec);
+    if (!B)
+      Fail(B.error().toString());
+    Opts.Count.Budget = *B;
+    Opts.HaveBudget = true;
+  };
+  if (Arg == "--workers") {
+    Opts.Count.Workers = static_cast<unsigned>(NextCount());
+  } else if (Arg == "--cache") {
+    Opts.Count.CacheCapacity = static_cast<size_t>(NextCount());
+    Opts.Count.CacheEnabled = Opts.Count.CacheCapacity > 0;
+  } else if (Arg == "--no-cache") {
+    Opts.Count.CacheEnabled = false;
+  } else if (Arg == "--budget") {
+    SetBudget(Next());
+  } else if (Arg.rfind("--budget=", 0) == 0) {
+    SetBudget(Arg.substr(9));
+  } else if (Arg == "--stats") {
+    Opts.Stats = true;
+    Opts.Count.CollectStats = true;
+    // Fast/slow op tallies are off by default; --stats implies them.
+    Opts.Count.CountArithOps = true;
+  } else if (Arg == "--trace") {
+    Opts.TraceFile = Next();
+  } else if (Arg == "--trace-summary") {
+    Opts.TraceSummary = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Applies the options process-wide via the legacy knobs, for tool code
+/// paths that do not (yet) route through the CountOptions entry point
+/// (simplify-only printing, the lint sweep).
+inline void applyProcessOptions(const ToolOptions &Opts) {
+  setWorkerCount(Opts.Count.Workers);
+  setConjunctCacheCapacity(
+      Opts.Count.CacheEnabled ? Opts.Count.CacheCapacity : 0);
+  setArithOpCounting(Opts.Count.CountArithOps);
+}
+
+/// Starts the process-wide trace session when --trace/--trace-summary was
+/// given.  Call once, before the traced work.
+inline void startToolTrace(const ToolOptions &Opts) {
+  if (Opts.wantTrace())
+    startTracing();
+}
+
+/// Ends the trace session and writes the requested exporter outputs.
+/// Returns false (after printing a diagnostic) if the trace file cannot
+/// be written.  Safe to call when tracing was not requested.
+inline bool finishToolTrace(const ToolOptions &Opts, const char *Tool) {
+  if (!Opts.wantTrace())
+    return true;
+  std::shared_ptr<const TraceData> Data = stopTracing();
+  if (!Opts.TraceFile.empty()) {
+    std::ofstream Out(Opts.TraceFile);
+    if (!Out) {
+      std::cerr << Tool << ": error: cannot write " << Opts.TraceFile << "\n";
+      return false;
+    }
+    Out << Data->toChromeJson() << "\n";
+  }
+  if (Opts.TraceSummary)
+    std::cerr << Data->toSummary();
+  return true;
+}
+
+} // namespace omega
+
+#endif // OMEGA_TOOLS_OPTIONS_H

@@ -19,6 +19,7 @@ run_matrix() {
   ctest --test-dir "$dir" --output-on-failure -j
   abort_free_leg "$dir"
   bench_leg "$dir"
+  trace_leg "$dir"
 }
 
 # Bench leg: quick runs of the two benchmark gates.  Both binaries enforce
@@ -49,8 +50,10 @@ assert arith["checks_passed"], "bench_arith self-checks failed"
 assert arith["small_allocations_total"] == 0, "small path allocated"
 assert arith["small_spills_total"] == 0, "small path spilled"
 assert all(s["checksum_ok"] for s in arith["sections"])
+assert pipe["schema"] == 2, "bench_pipeline JSON schema drifted"
 assert pipe["answers_identical"], "bench_pipeline answers diverged"
 assert len(pipe["configs"]) == 5
+assert all(c["stats"]["schema"] == 2 for c in pipe["configs"])
 if strict:
     assert arith["speedup_geomean"] >= 5.0, \
         f"fast path only {arith['speedup_geomean']:.2f}x vs spilled (want >= 5x)"
@@ -103,6 +106,82 @@ abort_free_leg() {
     done
   done
   echo "=== abort-free: $dir clean"
+}
+
+# Trace leg (default configuration only): every example formula run with
+# --trace must emit Chrome JSON that python3 json.load()s with resolvable
+# parent links, the text summary must list all eight pipeline phases, and
+# the *disabled*-tracing pipeline must stay within 1% of the committed
+# BENCH_pipeline.json baseline — the instrumentation's one-branch cost
+# model (DESIGN.md §12).  Wall clock is noisy even best-of-reps, so the
+# overhead gate retries a few times and passes on the first clean run.
+trace_leg() {
+  dir=$1
+  case $dir in *-default) ;; *) return 0 ;; esac
+  echo "=== trace: $dir"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "trace: python3 unavailable, leg skipped"
+    return 0
+  fi
+  count="$dir/tools/omegacount"
+  out="$dir/trace-ci"
+  mkdir -p "$out"
+  for ex in "$root"/examples/formulas/*.presburger; do
+    name=$(basename "$ex" .presburger)
+    for workers in 0 1 4; do
+      "$count" --file "$ex" --workers "$workers" --trace-summary \
+        --trace "$out/$name-w$workers.trace.json" \
+        >/dev/null 2>"$out/$name-w$workers.summary.txt"
+    done
+  done
+  for phase in simplify toDNF crossConjoin projectVars splinter \
+               makeDisjoint summation snfReparam; do
+    if ! grep -q "$phase" "$out/figure1-w0.summary.txt"; then
+      echo "trace: phase $phase missing from summary" >&2
+      exit 1
+    fi
+  done
+  python3 - "$out"/*.trace.json <<'PYEOF'
+import json, sys
+for path in sys.argv[1:]:
+    trace = json.load(open(path))
+    events = trace["traceEvents"]
+    assert events, f"{path}: empty trace"
+    ids = {e["args"]["id"] for e in events}
+    for e in events:
+        assert e["ph"] == "X" and e["cat"] == "omega", f"{path}: bad event"
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            assert key in e, f"{path}: event missing {key}"
+        parent = e["args"]["parent"]
+        assert parent == 0 or parent in ids, \
+            f"{path}: dangling parent {parent}"
+print(f"trace json: ok ({len(sys.argv) - 1} files)")
+PYEOF
+  attempts=4
+  while :; do
+    "$dir/bench/bench_pipeline" --out "$out/pipe.json" >/dev/null 2>&1
+    code=0
+    python3 - "$root/BENCH_pipeline.json" "$out/pipe.json" <<'PYEOF' || code=$?
+import json, sys
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+pick = lambda d: next(c["wall_ms"] for c in d["configs"]
+                      if c["name"] == "serial-nocache")
+b, c = pick(base), pick(cur)
+ratio = c / b
+print(f"trace overhead: serial-nocache {c:.1f}ms vs baseline {b:.1f}ms "
+      f"(x{ratio:.3f})")
+sys.exit(0 if ratio <= 1.01 else 1)
+PYEOF
+    [ "$code" -eq 0 ] && break
+    attempts=$((attempts - 1))
+    if [ "$attempts" -le 0 ]; then
+      echo "trace: disabled-tracing overhead exceeds 1% of baseline" >&2
+      exit 1
+    fi
+    echo "trace: overhead gate noisy, retrying ($attempts left)"
+  done
+  echo "=== trace: $dir clean"
 }
 
 # Tier 1: the default configuration every change must keep green.

@@ -17,12 +17,8 @@
 //   --at n=5,m=3       evaluate the result at symbol values (repeatable)
 //   --simplify-only    print the disjoint DNF and stop
 //   --sample           print one concrete solution per --at
-//   --workers N        worker threads for disjunct fan-out (0 = serial)
-//   --cache N          conjunct cache capacity; --no-cache disables it
-//   --budget SPEC      effort budget "bits=B,splinters=S,clauses=C,
-//                      depth=D,ms=M" (any subset); on exhaustion the count
-//                      degrades to UNKNOWN with certified bounds
-//   --stats            print pipeline statistics to stderr on exit
+//   plus the shared pipeline flags of tools/Options.h:
+//   --workers/--cache/--no-cache/--budget/--stats/--trace/--trace-summary
 //
 // Exit codes: 0 = answered (exact, unbounded, or certified bounds);
 //             1 = diagnostic (bad flags, malformed input, I/O failure, or
@@ -36,9 +32,9 @@
 #include "presburger/Parser.h"
 #include "support/Budget.h"
 #include "support/Stats.h"
-#include "support/ThreadPool.h"
 
 #include "FormulaFile.h"
+#include "Options.h"
 
 #include <iostream>
 #include <sstream>
@@ -119,56 +115,24 @@ int runTool(int Argc, char **Argv) {
   std::string SumText;
   std::vector<Assignment> Ats;
   SumOptions Opts;
-  EffortBudget Budget;
-  bool HaveBudget = false;
-  bool SimplifyOnly = false, Sample = false, Stats = false;
+  ToolOptions TO;
+  bool SimplifyOnly = false, Sample = false;
   std::string FormulaText, FilePath;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    if (parseSharedOption(Argc, Argv, I, TO,
+                          [](const std::string &M) { fail(M); }))
+      continue;
     auto Next = [&]() -> std::string {
       if (++I >= Argc)
         fail("missing value after " + Arg);
       return Argv[I];
     };
-    auto NextCount = [&]() -> long {
-      std::string V = Next();
-      try {
-        size_t Pos = 0;
-        long N = std::stol(V, &Pos);
-        if (Pos != V.size() || N < 0)
-          throw std::invalid_argument(V);
-        return N;
-      } catch (const std::exception &) {
-        fail("expected a nonnegative integer after " + Arg + ": " + V);
-      }
-      return 0;
-    };
-    auto SetBudget = [&](const std::string &Spec) {
-      Result<EffortBudget> B = EffortBudget::parse(Spec);
-      if (!B)
-        fail(B.error().toString());
-      Budget = *B;
-      HaveBudget = true;
-    };
     if (Arg == "--vars")
       Vars = splitList(Next());
-    else if (Arg == "--budget")
-      SetBudget(Next());
-    else if (Arg.rfind("--budget=", 0) == 0)
-      SetBudget(Arg.substr(9));
     else if (Arg == "--file")
       FilePath = Next();
-    else if (Arg == "--workers")
-      setWorkerCount(static_cast<unsigned>(NextCount()));
-    else if (Arg == "--cache")
-      setConjunctCacheCapacity(static_cast<size_t>(NextCount()));
-    else if (Arg == "--no-cache")
-      setConjunctCacheCapacity(0);
-    else if (Arg == "--stats") {
-      Stats = true;
-      setArithOpCounting(true); // Fast/slow op tallies are off by default.
-    }
     else if (Arg == "--sum")
       SumText = Next();
     else if (Arg == "--at")
@@ -202,15 +166,7 @@ int runTool(int Argc, char **Argv) {
              "  --at n=5,m=3     evaluate the symbolic answer (repeatable)\n"
              "  --simplify-only  print disjoint DNF only\n"
              "  --sample         print one solution per --at binding\n"
-             "  --workers N      worker threads for disjunct fan-out "
-             "(0 = serial)\n"
-             "  --cache N        conjunct cache capacity (entries); "
-             "--no-cache disables\n"
-             "  --budget SPEC    effort budget, e.g. "
-             "\"bits=64,splinters=32,clauses=256,depth=24,ms=5000\";\n"
-             "                   on exhaustion prints UNKNOWN with certified "
-             "lower/upper bounds\n"
-             "  --stats          print pipeline statistics to stderr\n";
+          << sharedOptionsHelp();
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-')
       fail("unknown option: " + Arg);
@@ -233,11 +189,13 @@ int runTool(int Argc, char **Argv) {
   }
   if (FormulaText.empty())
     fail("no formula given (try --help)");
+  applyProcessOptions(TO);
+  const EffortBudget &Budget = TO.Count.Budget;
   Formula F = Formula::trueFormula();
   {
     // Parse under the budget so oversized literals are rejected before any
     // arithmetic touches them (a parse diagnostic, not a throw).
-    BudgetScope Scope(HaveBudget
+    BudgetScope Scope(TO.HaveBudget
                           ? std::make_shared<BudgetState>(Budget)
                           : std::shared_ptr<BudgetState>());
     ParseResult R = parseFormula(FormulaText);
@@ -245,13 +203,18 @@ int runTool(int Argc, char **Argv) {
       fail("parse: " + R.Error);
     F = *R.Value;
   }
+  startToolTrace(TO);
 
-  auto EmitStats = [&] {
-    if (Stats)
+  // Every successful exit path funnels through here so the trace file and
+  // stats land no matter which mode ran.
+  auto Finish = [&]() -> int {
+    int RC = finishToolTrace(TO, "omegacount") ? 0 : 1;
+    if (TO.Stats)
       std::cerr << snapshotPipelineStats().toPretty();
+    return RC;
   };
 
-  if (HaveBudget && !Budget.unlimited()) {
+  if (TO.HaveBudget && !Budget.unlimited()) {
     // Budgeted path: no separate DNF print (the exact simplification is
     // itself subject to the budget inside the budgeted summation).
     if (SimplifyOnly) {
@@ -263,8 +226,7 @@ int runTool(int Argc, char **Argv) {
                 << (D.size() == 1 ? "" : "s") << "):\n";
       for (const Conjunct &C : D)
         std::cout << "  " << C << "\n";
-      EmitStats();
-      return 0;
+      return Finish();
     }
     if (Vars.empty())
       fail("--vars required for counting");
@@ -286,8 +248,7 @@ int runTool(int Argc, char **Argv) {
             std::cout << " " << Name << "=" << Value;
           std::cout << ": " << BC.Value.evaluate(At).toString() << "\n";
         }
-      EmitStats();
-      return 0;
+      return Finish();
     }
     std::cout << What << ": UNKNOWN (budget exhausted: " << BC.TrippedLimit
               << ")\n";
@@ -303,8 +264,7 @@ int runTool(int Argc, char **Argv) {
                         : BC.Upper.evaluate(At).toString())
                 << "]\n";
     }
-    EmitStats();
-    return 0;
+    return Finish();
   }
 
   SimplifyOptions SOpts;
@@ -315,8 +275,7 @@ int runTool(int Argc, char **Argv) {
   for (const Conjunct &C : D)
     std::cout << "  " << C << "\n";
   if (SimplifyOnly) {
-    EmitStats();
-    return 0;
+    return Finish();
   }
 
   if (Vars.empty())
@@ -328,8 +287,7 @@ int runTool(int Argc, char **Argv) {
                          : Set.sum(parseSummand(SumText), Opts);
   std::cout << (SumText.empty() ? "count" : "sum") << ":\n  " << V << "\n";
   if (V.isUnbounded()) {
-    EmitStats();
-    return 0;
+    return Finish();
   }
 
   for (const Assignment &At : Ats) {
@@ -348,8 +306,7 @@ int runTool(int Argc, char **Argv) {
       }
     }
   }
-  EmitStats();
-  return 0;
+  return Finish();
 }
 
 int main(int Argc, char **Argv) {

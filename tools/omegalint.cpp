@@ -21,8 +21,8 @@
 // Options:
 //   --no-enumerate     skip the enumeration cross-check (structure only)
 //   --verbose          print each symbol sample as it is checked
-//   --workers N        worker threads for disjunct fan-out (0 = serial)
-//   --stats            print pipeline statistics to stderr on exit
+//   plus the shared pipeline flags of tools/Options.h:
+//   --workers/--cache/--no-cache/--budget/--stats/--trace/--trace-summary
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,9 +32,9 @@
 #include "omega/Omega.h"
 #include "presburger/Parser.h"
 #include "support/Stats.h"
-#include "support/ThreadPool.h"
 
 #include "FormulaFile.h"
+#include "Options.h"
 
 #include <algorithm>
 #include <filesystem>
@@ -55,6 +55,7 @@ struct LintStats {
 
 bool Verbose = false;
 bool Enumerate = true;
+ToolOptions TO;
 
 void problem(LintStats &Stats, const std::string &Path,
              const std::string &Msg) {
@@ -187,9 +188,13 @@ void lintFile(const std::string &Path, LintStats &Stats) {
 }
 
 /// One file must never take down the whole lint run: any escape from the
-/// pipeline becomes a problem report and the sweep continues.
+/// pipeline — including a per-file budget trip under --budget — becomes a
+/// problem report and the sweep continues.
 void lintOne(const std::string &Path, LintStats &Stats) {
   try {
+    BudgetScope Scope(TO.HaveBudget
+                          ? std::make_shared<BudgetState>(TO.Count.Budget)
+                          : std::shared_ptr<BudgetState>());
     lintFile(Path, Stats);
   } catch (const std::exception &E) {
     problem(Stats, Path, E.what());
@@ -200,39 +205,22 @@ void lintOne(const std::string &Path, LintStats &Stats) {
 
 int runTool(int Argc, char **Argv) {
   std::vector<std::string> Paths;
-  bool PrintStats = false;
+  auto Fail = [](const std::string &Msg) {
+    std::cerr << "omegalint: error: " << Msg << "\n";
+    std::exit(1);
+  };
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    if (parseSharedOption(Argc, Argv, I, TO, Fail))
+      continue;
     if (Arg == "--verbose")
       Verbose = true;
     else if (Arg == "--no-enumerate")
       Enumerate = false;
-    else if (Arg == "--stats") {
-      PrintStats = true;
-      setArithOpCounting(true); // Fast/slow op tallies are off by default.
-    }
-    else if (Arg == "--workers") {
-      if (++I >= Argc) {
-        std::cerr << "omegalint: error: missing value after --workers\n";
-        return 1;
-      }
-      std::string V = Argv[I];
-      long N = 0;
-      try {
-        size_t Pos = 0;
-        N = std::stol(V, &Pos);
-        if (Pos != V.size() || N < 0)
-          throw std::invalid_argument(V);
-      } catch (const std::exception &) {
-        std::cerr << "omegalint: error: expected a nonnegative integer "
-                     "after --workers: "
-                  << V << "\n";
-        return 1;
-      }
-      setWorkerCount(static_cast<unsigned>(N));
-    } else if (Arg == "--help" || Arg == "-h") {
+    else if (Arg == "--help" || Arg == "-h") {
       std::cout << "usage: omegalint [--verbose] [--no-enumerate] "
-                   "[--workers N] [--stats] <file-or-dir>...\n";
+                   "[shared options] <file-or-dir>...\n"
+                << sharedOptionsHelp();
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "omegalint: unknown option: " << Arg << "\n";
@@ -244,6 +232,8 @@ int runTool(int Argc, char **Argv) {
     std::cerr << "omegalint: no inputs (try --help)\n";
     return 1;
   }
+  applyProcessOptions(TO);
+  startToolTrace(TO);
 
   LintStats Stats;
   for (const std::string &P : Paths) {
@@ -270,7 +260,9 @@ int runTool(int Argc, char **Argv) {
             << " enumeration sample" << (Stats.Samples == 1 ? "" : "s")
             << ", " << Stats.Problems << " problem"
             << (Stats.Problems == 1 ? "" : "s") << "\n";
-  if (PrintStats)
+  if (!finishToolTrace(TO, "omegalint"))
+    ++Stats.Problems;
+  if (TO.Stats)
     std::cerr << snapshotPipelineStats().toPretty();
   return Stats.Problems == 0 ? 0 : 1;
 }
