@@ -2,6 +2,8 @@
 
 #include "apps/CodeGen.h"
 
+#include "support/Error.h"
+
 #include <algorithm>
 #include <sstream>
 
@@ -61,7 +63,7 @@ GeneratedScan omega::generateScan(const Conjunct &C,
     VarSet Deeper(Order.begin() + Level + 1, Order.end());
     std::vector<Conjunct> Shadow = projectVars(C, Deeper, ShadowMode::Real);
     // Real-shadow projection never splinters: at most one clause.
-    assert(Shadow.size() <= 1 && "real shadow must be a single clause");
+    check(Shadow.size() <= 1, "real shadow must be a single clause");
     GeneratedLoop L;
     L.Var = Order[Level];
     if (!Shadow.empty()) {
@@ -81,8 +83,8 @@ GeneratedScan omega::generateScan(const Conjunct &C,
           Scan.Exact = false;
       }
     }
-    assert(!L.Lowers.empty() && !L.Uppers.empty() &&
-           "scanned variable must be bounded both ways");
+    check(!L.Lowers.empty() && !L.Uppers.empty(),
+          "scanned variable must be bounded both ways");
     Scan.Loops.push_back(std::move(L));
   }
 
@@ -158,7 +160,7 @@ void runLevel(const GeneratedScan &Scan, size_t Level, Assignment &Point,
       Hi = B;
     HaveHi = true;
   }
-  assert(HaveLo && HaveHi && "generated loop must have bounds");
+  check(HaveLo && HaveHi, "generated loop must have bounds");
   for (BigInt V = Lo; V <= Hi; ++V) {
     Point[L.Var] = V;
     runLevel(Scan, Level + 1, Point, Out);

@@ -3,6 +3,7 @@
 #include "apps/Dependence.h"
 
 #include "omega/Verify.h"
+#include "support/Error.h"
 
 using namespace omega;
 
@@ -66,9 +67,9 @@ Formula lexPrecedes(const std::vector<std::string> &Vars,
 Formula omega::dependencePairs(const LoopNest &Nest, const ArrayRef &Src,
                                const ArrayRef &Dst,
                                const std::string &Suffix) {
-  assert(Src.Array == Dst.Array && "dependence needs a common array");
-  assert(Src.Subscripts.size() == Dst.Subscripts.size() &&
-         "inconsistent array rank");
+  check(Src.Array == Dst.Array, "dependence needs a common array");
+  check(Src.Subscripts.size() == Dst.Subscripts.size(),
+        "inconsistent array rank");
   std::vector<std::string> Vars = Nest.varOrder();
   std::vector<Formula> Parts;
   Parts.push_back(Nest.iterationSpace());
@@ -101,7 +102,7 @@ PiecewiseValue omega::splitCommunicationCells(
     const LoopNest &Nest, const ArrayRef &Write, const ArrayRef &Read,
     const std::string &OuterVar, const std::string &SplitVar,
     SumOptions Opts) {
-  assert(Write.Array == Read.Array && "communication needs a common array");
+  check(Write.Array == Read.Array, "communication needs a common array");
   std::vector<std::string> Vars = Nest.varOrder();
   const std::string Suffix = "_r";
 

@@ -2,6 +2,8 @@
 
 #include "apps/LoopNest.h"
 
+#include "support/Error.h"
+
 using namespace omega;
 
 LoopNest &LoopNest::add(const std::string &Var, AffineExpr Lower,
@@ -15,8 +17,8 @@ LoopNest &LoopNest::add(const std::string &Var, AffineExpr Lower,
 }
 
 LoopNest &LoopNest::add(Loop L) {
-  assert(!L.Lowers.empty() && !L.Uppers.empty() && "loop needs bounds");
-  assert(L.Step.isPositive() && "loop step must be positive");
+  check(!L.Lowers.empty() && !L.Uppers.empty(), "loop needs bounds");
+  check(L.Step.isPositive(), "loop step must be positive");
   Loops.push_back(std::move(L));
   return *this;
 }

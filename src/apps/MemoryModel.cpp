@@ -3,6 +3,7 @@
 #include "apps/MemoryModel.h"
 
 #include "presburger/NonLinear.h"
+#include "support/Error.h"
 
 using namespace omega;
 
@@ -25,7 +26,7 @@ Formula omega::touchedCells(const LoopNest &Nest,
   for (const ArrayRef &R : Refs) {
     if (R.Array != Array)
       continue;
-    assert(R.Subscripts.size() == Dims && "inconsistent array rank");
+    check(R.Subscripts.size() == Dims, "inconsistent array rank");
     std::vector<Formula> Eqs{Space};
     for (size_t D = 0; D < Dims; ++D)
       Eqs.push_back(Formula::atom(Constraint::eq(
@@ -51,7 +52,7 @@ PiecewiseValue omega::countDistinctCacheLines(
     const std::string &Array, const CacheMapping &Map, SumOptions Opts) {
   std::vector<std::string> ElemVars;
   Formula Touched = touchedCells(Nest, Refs, Array, ElemVars);
-  assert(Map.LineDim < ElemVars.size() && "line dimension out of range");
+  check(Map.LineDim < ElemVars.size(), "line dimension out of range");
 
   // Line coordinates: lineD = floor((elem_LineDim - Base) / LineSize),
   // other coordinates equal the element coordinates.

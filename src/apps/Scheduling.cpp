@@ -2,6 +2,8 @@
 
 #include "apps/Scheduling.h"
 
+#include "support/Error.h"
+
 using namespace omega;
 
 namespace {
@@ -36,7 +38,7 @@ bool omega::isLoadBalanced(const LoopNest &Nest, const std::string &OuterVar,
                            const Assignment &Symbols, const BigInt &Lo,
                            const BigInt &Hi) {
   PiecewiseValue W = perIterationWork(Nest, OuterVar, FlopsPerIter);
-  assert(!W.isUnbounded() && "per-iteration work diverges");
+  check(!W.isUnbounded(), "per-iteration work diverges");
   bool First = true;
   Rational Ref(0);
   for (BigInt K = Lo; K <= Hi; ++K) {
@@ -59,11 +61,11 @@ std::vector<Chunk> omega::balancedChunks(const LoopNest &Nest,
                                          const Assignment &Symbols,
                                          const BigInt &Lo, const BigInt &Hi,
                                          unsigned NumProcs) {
-  assert(NumProcs > 0 && "need at least one processor");
+  check(NumProcs > 0, "need at least one processor");
   std::string KVar = "chunkK" + freshWildcard().substr(1);
   PiecewiseValue Prefix =
       prefixWork(Nest, OuterVar, KVar, FlopsPerIter, SumOptions());
-  assert(!Prefix.isUnbounded() && "prefix work diverges");
+  check(!Prefix.isUnbounded(), "prefix work diverges");
 
   auto PrefixAt = [&](const BigInt &K) {
     Assignment A = Symbols;
@@ -95,7 +97,7 @@ std::vector<Chunk> omega::balancedChunks(const LoopNest &Nest,
     Ch.Begin = Begin;
     Ch.End = End;
     Rational Work = Cum - Used;
-    assert(Work.isInteger() && "flop counts must be integral");
+    check(Work.isInteger(), "flop counts must be integral");
     Ch.Flops = Work.asInteger();
     Chunks.push_back(Ch);
     Used = Cum;

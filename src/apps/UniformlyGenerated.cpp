@@ -2,6 +2,8 @@
 
 #include "apps/UniformlyGenerated.h"
 
+#include "support/Error.h"
+
 #include <algorithm>
 #include <set>
 
@@ -10,7 +12,7 @@ using namespace omega;
 Formula
 omega::offsetsZeroOneFormula(const std::vector<Offset> &Offsets,
                              const std::vector<std::string> &DeltaVars) {
-  assert(!Offsets.empty() && "empty offset set");
+  check(!Offsets.empty(), "empty offset set");
   size_t Dims = DeltaVars.size();
   VarSet Zs;
   std::vector<AffineExpr> ZVars;
@@ -31,7 +33,7 @@ omega::offsetsZeroOneFormula(const std::vector<Offset> &Offsets,
   for (size_t D = 0; D < Dims; ++D) {
     AffineExpr E = AffineExpr::variable(DeltaVars[D]);
     for (size_t K = 0; K < Offsets.size(); ++K) {
-      assert(Offsets[K].size() == Dims && "ragged offsets");
+      check(Offsets[K].size() == Dims, "ragged offsets");
       E -= Offsets[K][D] * ZVars[K];
     }
     Parts.push_back(Formula::atom(Constraint::eq(std::move(E))));
@@ -41,7 +43,7 @@ omega::offsetsZeroOneFormula(const std::vector<Offset> &Offsets,
 
 BigInt omega::countConcrete(const Formula &F, const VarSet &Vars) {
   PiecewiseValue V = countSolutions(F, Vars);
-  assert(!V.isUnbounded() && "countConcrete on an unbounded set");
+  check(!V.isUnbounded(), "countConcrete on an unbounded set");
   return V.evaluateInt({});
 }
 
@@ -131,7 +133,7 @@ void addDetectedStrides(const std::vector<Offset> &Offsets,
 std::optional<HullSummary>
 omega::summarizeOffsetsHull(const std::vector<Offset> &Offsets,
                             const std::vector<std::string> &DeltaVars) {
-  assert(!Offsets.empty() && "empty offset set");
+  check(!Offsets.empty(), "empty offset set");
   size_t Dims = DeltaVars.size();
   if (Dims == 0 || Dims > 2)
     return std::nullopt;
@@ -149,7 +151,7 @@ omega::summarizeOffsetsHull(const std::vector<Offset> &Offsets,
   } else {
     std::vector<Point> Pts;
     for (const Offset &P : Offsets) {
-      assert(P.size() == 2 && "ragged offsets");
+      check(P.size() == 2, "ragged offsets");
       Pts.push_back({P[0], P[1]});
     }
     std::vector<Point> Hull = convexHull(std::move(Pts));

@@ -3,6 +3,7 @@
 #include "baselines/FixedOrderSum.h"
 
 #include "poly/Faulhaber.h"
+#include "support/Error.h"
 
 #include <algorithm>
 
@@ -26,8 +27,8 @@ void collectUnitBounds(const Conjunct &C, const std::string &V,
     BigInt A = Ks[I].expr().coeff(V);
     if (A.isZero())
       continue;
-    assert((A.isOne() || A.isMinusOne()) &&
-           "fixed-order baseline requires unit loop-bound coefficients");
+    check((A.isOne() || A.isMinusOne()),
+          "fixed-order baseline requires unit loop-bound coefficients");
     AffineExpr Rest = Ks[I].expr();
     Rest.setCoeff(V, BigInt(0));
     if (A.isOne())
@@ -79,8 +80,7 @@ public:
     const std::string &V = Order[Level];
     std::vector<SimpleBound> Lowers, Uppers;
     collectUnitBounds(C, V, Lowers, Uppers);
-    assert(!Lowers.empty() && !Uppers.empty() &&
-           "loop variable must be bounded");
+    check(!Lowers.empty() && !Uppers.empty(), "loop variable must be bounded");
 
     // Polyhedral splitting: pick which bound is tight, case by case
     // (Tawbi's initial splitting step, applied lazily per level).
@@ -153,8 +153,7 @@ omega::naiveClosedFormSum(const Conjunct &C,
   for (const std::string &V : Order) {
     std::vector<SimpleBound> Lowers, Uppers;
     collectUnitBounds(Cur, V, Lowers, Uppers);
-    assert(!Lowers.empty() && !Uppers.empty() &&
-           "loop variable must be bounded");
+    check(!Lowers.empty() && !Uppers.empty(), "loop variable must be bounded");
     unsigned Dummy = 0;
     Val = sumUnitRange(Val, V, Lowers[0].Expr, Uppers[0].Expr, Dummy);
     Conjunct Rest;

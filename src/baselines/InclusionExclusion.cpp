@@ -2,6 +2,8 @@
 
 #include "baselines/InclusionExclusion.h"
 
+#include "support/Error.h"
+
 using namespace omega;
 
 InclusionExclusionResult
@@ -9,7 +11,7 @@ omega::countUnionInclusionExclusion(const std::vector<Conjunct> &Clauses,
                                     const VarSet &Vars, SumOptions Opts) {
   InclusionExclusionResult R;
   size_t K = Clauses.size();
-  assert(K < 20 && "inclusion-exclusion over too many clauses");
+  check(K < 20, "inclusion-exclusion over too many clauses");
   for (size_t Mask = 1; Mask < (size_t(1) << K); ++Mask) {
     Conjunct Inter;
     int Bits = 0;

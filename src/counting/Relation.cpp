@@ -3,6 +3,7 @@
 #include "counting/Relation.h"
 
 #include "omega/Verify.h"
+#include "support/Error.h"
 
 #include <sstream>
 
@@ -12,18 +13,17 @@ Relation::Relation(std::vector<std::string> InNames,
                    std::vector<std::string> OutNames, Formula BodyF)
     : Ins(std::move(InNames)), Outs(std::move(OutNames)),
       Body(std::move(BodyF)) {
-#ifndef NDEBUG
   VarSet Seen;
   for (const std::string &V : Ins)
-    assert(Seen.insert(V).second && "duplicate tuple variable");
+    check(Seen.insert(V).second, "duplicate tuple variable");
   for (const std::string &V : Outs)
-    assert(Seen.insert(V).second && "duplicate tuple variable");
-#endif
+    check(Seen.insert(V).second, "duplicate tuple variable");
 }
 
 Formula Relation::renamedBody(const std::vector<std::string> &NewIns,
                               const std::vector<std::string> &NewOuts) const {
-  assert(NewIns.size() == Ins.size() && NewOuts.size() == Outs.size());
+  check(NewIns.size() == Ins.size() && NewOuts.size() == Outs.size(),
+        "NewIns.size() == Ins.size() && NewOuts.size() == Outs.size()");
   std::map<std::string, std::string> Map;
   for (size_t I = 0; I < Ins.size(); ++I)
     if (Ins[I] != NewIns[I])
@@ -37,8 +37,8 @@ Formula Relation::renamedBody(const std::vector<std::string> &NewIns,
 Relation Relation::inverse() const { return Relation(Outs, Ins, Body); }
 
 Relation Relation::compose(const Relation &Other) const {
-  assert(Other.Outs.size() == Ins.size() &&
-         "composition arity mismatch (Other's outputs feed this's inputs)");
+  check(Other.Outs.size() == Ins.size(),
+        "composition arity mismatch (Other's outputs feed this's inputs)");
   // Fresh middle tuple.
   std::vector<std::string> Mid;
   Mid.reserve(Ins.size());
@@ -77,7 +77,8 @@ Formula Relation::range() const {
 bool Relation::isEmpty() const { return isUnsatisfiable(Body); }
 
 bool Relation::isSubsetOf(const Relation &Other) const {
-  assert(Other.Ins.size() == Ins.size() && Other.Outs.size() == Outs.size());
+  check(Other.Ins.size() == Ins.size() && Other.Outs.size() == Outs.size(),
+        "Other.Ins.size() == Ins.size() && Other.Outs.size() == Outs.size()");
   return verifyImplies(Body, Other.renamedBody(Ins, Outs));
 }
 

@@ -3,6 +3,7 @@
 #include "counting/Set.h"
 
 #include "omega/Verify.h"
+#include "support/Error.h"
 
 #include <sstream>
 
@@ -11,15 +12,13 @@ using namespace omega;
 PresburgerSet::PresburgerSet(std::vector<std::string> TupleNames,
                              Formula BodyF)
     : Tuple(std::move(TupleNames)), Body(std::move(BodyF)) {
-#ifndef NDEBUG
   VarSet Seen;
   for (const std::string &V : Tuple)
-    assert(Seen.insert(V).second && "duplicate tuple variable");
-#endif
+    check(Seen.insert(V).second, "duplicate tuple variable");
 }
 
 Formula PresburgerSet::aligned(const PresburgerSet &Other) const {
-  assert(Other.Tuple.size() == Tuple.size() && "set arity mismatch");
+  check(Other.Tuple.size() == Tuple.size(), "set arity mismatch");
   std::map<std::string, std::string> Map;
   for (size_t I = 0; I < Tuple.size(); ++I)
     if (Other.Tuple[I] != Tuple[I])
@@ -44,8 +43,8 @@ PresburgerSet PresburgerSet::project(const VarSet &Away) const {
   for (const std::string &V : Tuple)
     if (!Away.count(V))
       Rest.push_back(V);
-  assert(Rest.size() + Away.size() == Tuple.size() &&
-         "projected dimensions must be tuple variables");
+  check(Rest.size() + Away.size() == Tuple.size(),
+        "projected dimensions must be tuple variables");
   return PresburgerSet(std::move(Rest), Formula::exists(Away, Body));
 }
 

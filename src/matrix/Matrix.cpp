@@ -2,6 +2,8 @@
 
 #include "matrix/Matrix.h"
 
+#include "support/Error.h"
+
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -14,7 +16,7 @@ Matrix Matrix::fromRows(std::vector<std::vector<BigInt>> Rows) {
   Matrix M(static_cast<unsigned>(Rows.size()),
            static_cast<unsigned>(Rows[0].size()));
   for (unsigned R = 0; R < M.NumRows; ++R) {
-    assert(Rows[R].size() == M.NumCols && "ragged initializer");
+    check(Rows[R].size() == M.NumCols, "ragged initializer");
     for (unsigned C = 0; C < M.NumCols; ++C)
       M.at(R, C) = std::move(Rows[R][C]);
   }
@@ -29,7 +31,7 @@ Matrix Matrix::identity(unsigned N) {
 }
 
 Matrix Matrix::operator*(const Matrix &RHS) const {
-  assert(NumCols == RHS.NumRows && "dimension mismatch in matrix product");
+  check(NumCols == RHS.NumRows, "dimension mismatch in matrix product");
   Matrix R(NumRows, RHS.NumCols);
   for (unsigned I = 0; I < NumRows; ++I)
     for (unsigned K = 0; K < NumCols; ++K) {
@@ -65,7 +67,7 @@ void Matrix::swapCols(unsigned A, unsigned B) {
 }
 
 void Matrix::addRowMultiple(unsigned Dst, unsigned Src, const BigInt &Factor) {
-  assert(Dst != Src && "row must differ from source");
+  check(Dst != Src, "row must differ from source");
   if (Factor.isZero())
     return;
   for (unsigned C = 0; C < NumCols; ++C)
@@ -73,7 +75,7 @@ void Matrix::addRowMultiple(unsigned Dst, unsigned Src, const BigInt &Factor) {
 }
 
 void Matrix::addColMultiple(unsigned Dst, unsigned Src, const BigInt &Factor) {
-  assert(Dst != Src && "column must differ from source");
+  check(Dst != Src, "column must differ from source");
   if (Factor.isZero())
     return;
   for (unsigned R = 0; R < NumRows; ++R)
@@ -91,7 +93,7 @@ void Matrix::negateCol(unsigned C) {
 }
 
 BigInt Matrix::determinant() const {
-  assert(NumRows == NumCols && "determinant of non-square matrix");
+  check(NumRows == NumCols, "determinant of non-square matrix");
   unsigned N = NumRows;
   if (N == 0)
     return BigInt(1);

@@ -16,6 +16,7 @@
 #define OMEGA_MATRIX_MATRIX_H
 
 #include "support/BigInt.h"
+#include "support/Error.h"
 
 #include <iosfwd>
 #include <vector>
@@ -39,11 +40,11 @@ public:
   unsigned cols() const { return NumCols; }
 
   BigInt &at(unsigned R, unsigned C) {
-    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    check(R < NumRows && C < NumCols, "matrix index out of range");
     return Data[size_t(R) * NumCols + C];
   }
   const BigInt &at(unsigned R, unsigned C) const {
-    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    check(R < NumRows && C < NumCols, "matrix index out of range");
     return Data[size_t(R) * NumCols + C];
   }
 

@@ -213,7 +213,7 @@ struct CountOptions {
 };
 
 /// Outcome of a unified query.
-struct CountResult {
+struct [[nodiscard]] CountResult {
   /// Exact, Bounded (degraded), Unbounded, or Error.
   CountStatus Status = CountStatus::Error;
   /// The answer; valid when Status == Exact (or Unbounded marker).
@@ -232,19 +232,20 @@ struct CountResult {
   /// toSummary().
   std::shared_ptr<const TraceData> Trace;
 
-  bool exact() const { return Status == CountStatus::Exact; }
+  [[nodiscard]] bool exact() const { return Status == CountStatus::Exact; }
 };
 
 /// (Σ Vars : F : X) under \p Opts — THE entry point; every other overload
 /// delegates here.  Free variables of F and X outside Vars are the
 /// symbolic constants of the answer.
-CountResult sumPolynomial(const Formula &F, const VarSet &Vars,
+[[nodiscard]] CountResult sumPolynomial(const Formula &F, const VarSet &Vars,
                           const QuasiPolynomial &X,
                           const CountOptions &Opts = {});
 
 /// (Σ Vars : F : 1) under \p Opts: the number of solutions.
-CountResult countSolutions(const Formula &F, const VarSet &Vars,
-                           const CountOptions &Opts);
+[[nodiscard]] CountResult countSolutions(const Formula &F,
+                                         const VarSet &Vars,
+                                         const CountOptions &Opts);
 
 } // namespace omega
 

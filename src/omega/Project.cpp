@@ -269,7 +269,7 @@ private:
         BestCost = Cost;
       }
     }
-    assert(!Best.empty() && "no Fourier candidate among targets");
+    check(!Best.empty(), "no Fourier candidate among targets");
     return Best;
   }
 
@@ -530,7 +530,7 @@ std::optional<Assignment> omega::samplePoint(const Conjunct &C) {
     for (const std::string &W : Cur.wildcards())
       Others.insert(W);
     std::vector<Conjunct> Shadow = projectVars(Cur, Others, ShadowMode::Real);
-    assert(Shadow.size() <= 1 && "real shadow is a single clause");
+    check(Shadow.size() <= 1, "real shadow is a single clause");
     bool HaveLo = false, HaveHi = false;
     BigInt Lo, Hi;
     if (!Shadow.empty())

@@ -103,8 +103,8 @@ void omega::removeRedundant(Conjunct &C, bool Aggressive) {
 }
 
 bool omega::implies(const Conjunct &P, const Conjunct &Q) {
-  assert(P.wildcards().empty() && Q.wildcards().empty() &&
-         "implies requires wildcard-free clauses");
+  check(P.wildcards().empty() && Q.wildcards().empty(),
+        "implies requires wildcard-free clauses");
   for (const Constraint &K : Q.constraints())
     if (!contextImplies(P, K))
       return false;
@@ -112,8 +112,8 @@ bool omega::implies(const Conjunct &P, const Conjunct &Q) {
 }
 
 Conjunct omega::gist(const Conjunct &P, const Conjunct &Q) {
-  assert(P.wildcards().empty() && Q.wildcards().empty() &&
-         "gist requires wildcard-free clauses");
+  check(P.wildcards().empty() && Q.wildcards().empty(),
+        "gist requires wildcard-free clauses");
   std::vector<Constraint> Kept = P.constraints();
   // A constraint stays only if Q plus the other kept constraints does not
   // already imply it; guarantees (gist P given Q) ∧ Q ≡ P ∧ Q.

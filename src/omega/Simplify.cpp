@@ -294,8 +294,8 @@ void validateBoundary(const std::vector<Conjunct> &Clauses, bool Disjoint,
 } // namespace
 
 std::vector<Conjunct> omega::negateConjunct(const Conjunct &C) {
-  assert(C.wildcards().empty() &&
-         "negateConjunct requires a wildcard-free clause (simplify first)");
+  check(C.wildcards().empty(),
+        "negateConjunct requires a wildcard-free clause (simplify first)");
   // Disjoint negation (§5.3 step 4):
   //   ¬(c1 ∧ c2 ∧ ...) = ¬c1 + (c1 ∧ ¬c2) + (c1 ∧ c2 ∧ ¬c3) + ...
   // and each ¬ci expands into branches that are themselves disjoint.
@@ -329,8 +329,8 @@ std::vector<Conjunct> omega::negateConjunct(const Conjunct &C) {
 }
 
 std::vector<Conjunct> omega::simplify(const Formula &F, SimplifyOptions Opts) {
-  assert((!Opts.Disjoint || Opts.Mode == ShadowMode::Exact) &&
-         "disjoint DNF requires exact simplification");
+  check((!Opts.Disjoint || Opts.Mode == ShadowMode::Exact),
+        "disjoint DNF requires exact simplification");
   TraceSpan Span("simplify");
   std::vector<Conjunct> D;
   {

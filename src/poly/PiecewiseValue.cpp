@@ -2,6 +2,8 @@
 
 #include "poly/PiecewiseValue.h"
 
+#include "support/Error.h"
+
 #include <algorithm>
 #include <ostream>
 #include <sstream>
@@ -22,7 +24,7 @@ PiecewiseValue &PiecewiseValue::operator*=(const Rational &C) {
 }
 
 Rational PiecewiseValue::evaluate(const Assignment &Values) const {
-  assert(!Unbounded && "evaluating an unbounded sum");
+  check(!Unbounded, "evaluating an unbounded sum");
   Rational R(0);
   for (const Piece &P : Pieces)
     if (P.Guard.contains(Values))
@@ -32,7 +34,7 @@ Rational PiecewiseValue::evaluate(const Assignment &Values) const {
 
 BigInt PiecewiseValue::evaluateInt(const Assignment &Values) const {
   Rational R = evaluate(Values);
-  assert(R.isInteger() && "piecewise value is not integral at this point");
+  check(R.isInteger(), "piecewise value is not integral at this point");
   return R.asInteger();
 }
 

@@ -2,13 +2,15 @@
 
 #include "poly/QuasiPolynomial.h"
 
+#include "support/Error.h"
+
 #include <ostream>
 #include <sstream>
 
 using namespace omega;
 
 Atom Atom::mod(AffineExpr Arg, BigInt Modulus) {
-  assert(Modulus.isPositive() && "mod atom needs positive modulus");
+  check(Modulus.isPositive(), "mod atom needs positive modulus");
   Atom A;
   A.K = Kind::Mod;
   // Canonicalize: (e mod c) depends only on e's residues mod c.
@@ -35,7 +37,7 @@ bool Atom::mentions(const std::string &V) const {
 BigInt Atom::evaluate(const Assignment &Values) const {
   if (isSymbol()) {
     auto It = Values.find(Name);
-    assert(It != Values.end() && "unbound symbol in Atom::evaluate");
+    check(It != Values.end(), "unbound symbol in Atom::evaluate");
     return It->second;
   }
   return BigInt::floorMod(Arg.evaluate(Values), Modulus);
@@ -165,8 +167,7 @@ QuasiPolynomial::coefficientsOf(const std::string &Name) const {
         D = E;
         continue;
       }
-      assert(!At.mentions(Name) &&
-             "mod atom mentions the variable being summed");
+      check(!At.mentions(Name), "mod atom mentions the variable being summed");
       Rest.emplace(At, E);
     }
     Out[D].addTerm(std::move(Rest), C);

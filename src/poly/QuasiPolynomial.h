@@ -18,6 +18,7 @@
 #define OMEGA_POLY_QUASIPOLYNOMIAL_H
 
 #include "presburger/AffineExpr.h"
+#include "support/Error.h"
 #include "support/Rational.h"
 
 #include <iosfwd>
@@ -46,15 +47,15 @@ public:
   bool isSymbol() const { return K == Kind::Symbol; }
   bool isMod() const { return K == Kind::Mod; }
   const std::string &name() const {
-    assert(isSymbol() && "name of non-symbol atom");
+    check(isSymbol(), "name of non-symbol atom");
     return Name;
   }
   const AffineExpr &arg() const {
-    assert(isMod() && "arg of non-mod atom");
+    check(isMod(), "arg of non-mod atom");
     return Arg;
   }
   const BigInt &modulus() const {
-    assert(isMod() && "modulus of non-mod atom");
+    check(isMod(), "modulus of non-mod atom");
     return Modulus;
   }
 
@@ -111,7 +112,7 @@ public:
     return Terms.empty() || (Terms.size() == 1 && Terms.begin()->first.empty());
   }
   Rational constantValue() const {
-    assert(isConstant() && "not a constant polynomial");
+    check(isConstant(), "not a constant polynomial");
     return Terms.empty() ? Rational(0) : Terms.begin()->second;
   }
 

@@ -2,6 +2,8 @@
 
 #include "presburger/AffineExpr.h"
 
+#include "support/Error.h"
+
 #include <atomic>
 #include <ostream>
 #include <sstream>
@@ -31,6 +33,9 @@ std::string omega::freshWildcard() {
 }
 
 WildcardScope::WildcardScope(const std::string &Prefix) {
+  // ScopeState is an incomplete type at the header's State pointer, and
+  // the scope stack must pop in strict LIFO order even through exceptions
+  // (the destructor owns it).  omegatidy: allow(naked-new)
   auto *S = new ScopeState;
   S->Prefix = Prefix;
   S->Prev = CurScope;
@@ -40,7 +45,7 @@ WildcardScope::WildcardScope(const std::string &Prefix) {
 
 WildcardScope::~WildcardScope() {
   auto *S = static_cast<ScopeState *>(State);
-  assert(CurScope == S && "wildcard scopes must nest strictly");
+  check(CurScope == S, "wildcard scopes must nest strictly");
   CurScope = S->Prev;
   delete S;
 }
@@ -54,7 +59,7 @@ std::string omega::nextWildcardBatchPrefix() {
 }
 
 void omega::resetWildcardState() {
-  assert(!CurScope && "cannot reset wildcard state inside a scope");
+  check(!CurScope, "cannot reset wildcard state inside a scope");
   GlobalCounter.store(0);
   GlobalBatches.store(0);
 }
@@ -106,7 +111,7 @@ AffineExpr &AffineExpr::operator*=(const BigInt &Factor) {
 }
 
 void AffineExpr::divCoeffsExact(const BigInt &G) {
-  assert(!G.isZero() && "division by zero");
+  check(!G.isZero(), "division by zero");
   if (G.isOne())
     return;
   for (auto &[Name, C] : Coeffs) {
@@ -120,8 +125,8 @@ void AffineExpr::substitute(const std::string &Name,
   auto It = Coeffs.find(Name);
   if (It == Coeffs.end())
     return;
-  assert(!Replacement.mentions(Name) &&
-         "substitution replacement mentions the substituted variable");
+  check(!Replacement.mentions(Name),
+        "substitution replacement mentions the substituted variable");
   BigInt C = It->second;
   Coeffs.erase(It);
   *this += C * Replacement;
@@ -131,7 +136,7 @@ void AffineExpr::renameVar(const std::string &From, const std::string &To) {
   auto It = Coeffs.find(From);
   if (It == Coeffs.end())
     return;
-  assert(!Coeffs.count(To) && "rename target already present");
+  check(!Coeffs.count(To), "rename target already present");
   BigInt C = std::move(It->second);
   Coeffs.erase(It);
   Coeffs.emplace(To, std::move(C));
@@ -141,7 +146,7 @@ BigInt AffineExpr::evaluate(const Assignment &Values) const {
   BigInt R = Const;
   for (const auto &[Name, C] : Coeffs) {
     auto It = Values.find(Name);
-    assert(It != Values.end() && "unbound variable in evaluate");
+    check(It != Values.end(), "unbound variable in evaluate");
     R += C * It->second;
   }
   return R;

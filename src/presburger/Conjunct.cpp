@@ -2,6 +2,8 @@
 
 #include "presburger/Conjunct.h"
 
+#include "support/Error.h"
+
 #include <ostream>
 #include <sstream>
 
@@ -53,7 +55,7 @@ void Conjunct::substitute(const std::string &Name,
 }
 
 void Conjunct::renameVar(const std::string &From, const std::string &To) {
-  assert(From != To && "rename to same name");
+  check(From != To, "rename to same name");
   for (Constraint &C : Items)
     C.renameVar(From, To);
   if (Wildcards.erase(From))
@@ -67,8 +69,8 @@ void Conjunct::refreshWildcards() {
 }
 
 bool Conjunct::contains(const Assignment &Values) const {
-  assert(Wildcards.empty() &&
-         "Conjunct::contains requires a wildcard-free clause");
+  check(Wildcards.empty(),
+        "Conjunct::contains requires a wildcard-free clause");
   for (const Constraint &C : Items)
     if (!C.holds(Values))
       return false;

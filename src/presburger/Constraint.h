@@ -16,6 +16,7 @@
 #define OMEGA_PRESBURGER_CONSTRAINT_H
 
 #include "presburger/AffineExpr.h"
+#include "support/Error.h"
 
 #include <iosfwd>
 #include <string>
@@ -58,7 +59,7 @@ public:
   }
   /// `Mod | E`; asserts Mod >= 1.
   static Constraint stride(BigInt Mod, AffineExpr E) {
-    assert(Mod.isPositive() && "stride modulus must be positive");
+    check(Mod.isPositive(), "stride modulus must be positive");
     return Constraint(ConstraintKind::Stride, std::move(E), std::move(Mod));
   }
 
@@ -70,7 +71,7 @@ public:
   const AffineExpr &expr() const { return Expr; }
   AffineExpr &expr() { return Expr; }
   const BigInt &modulus() const {
-    assert(isStride() && "modulus of non-stride constraint");
+    check(isStride(), "modulus of non-stride constraint");
     return Mod;
   }
 

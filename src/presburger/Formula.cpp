@@ -132,7 +132,7 @@ Formula Formula::fromConjunct(const Conjunct &C) {
 FormulaKind Formula::kind() const { return Impl->Kind; }
 
 const Constraint &Formula::constraint() const {
-  assert(kind() == FormulaKind::Atom && "not an atom");
+  check(kind() == FormulaKind::Atom, "not an atom");
   return Impl->Atom;
 }
 
@@ -141,14 +141,14 @@ const std::vector<Formula> &Formula::children() const {
 }
 
 const VarSet &Formula::quantified() const {
-  assert((kind() == FormulaKind::Exists || kind() == FormulaKind::Forall) &&
-         "not a quantifier");
+  check((kind() == FormulaKind::Exists || kind() == FormulaKind::Forall),
+        "not a quantifier");
   return Impl->Quantified;
 }
 
 const Formula &Formula::body() const {
-  assert((kind() == FormulaKind::Exists || kind() == FormulaKind::Forall) &&
-         "not a quantifier");
+  check((kind() == FormulaKind::Exists || kind() == FormulaKind::Forall),
+        "not a quantifier");
   return Impl->Children[0];
 }
 

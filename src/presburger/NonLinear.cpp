@@ -2,10 +2,12 @@
 
 #include "presburger/NonLinear.h"
 
+#include "support/Error.h"
+
 using namespace omega;
 
 LoweredExpr omega::lowerFloor(const AffineExpr &E, const BigInt &C) {
-  assert(C.isPositive() && "floor divisor must be positive");
+  check(C.isPositive(), "floor divisor must be positive");
   LoweredExpr R;
   std::string Alpha = freshWildcard();
   R.Expr = AffineExpr::variable(Alpha);
@@ -18,7 +20,7 @@ LoweredExpr omega::lowerFloor(const AffineExpr &E, const BigInt &C) {
 }
 
 LoweredExpr omega::lowerCeil(const AffineExpr &E, const BigInt &C) {
-  assert(C.isPositive() && "ceil divisor must be positive");
+  check(C.isPositive(), "ceil divisor must be positive");
   LoweredExpr R;
   std::string Beta = freshWildcard();
   R.Expr = AffineExpr::variable(Beta);
@@ -31,7 +33,7 @@ LoweredExpr omega::lowerCeil(const AffineExpr &E, const BigInt &C) {
 }
 
 LoweredExpr omega::lowerMod(const AffineExpr &E, const BigInt &C) {
-  assert(C.isPositive() && "mod divisor must be positive");
+  check(C.isPositive(), "mod divisor must be positive");
   LoweredExpr R = lowerFloor(E, C);
   // e mod c = e - c * floor(e/c).
   R.Expr = E - C * R.Expr;

@@ -18,6 +18,11 @@
 /// fan-outs (an item that fans out again) always run inline, which keeps
 /// the pool non-reentrant and the nesting deterministic.
 ///
+/// Locking: this layer owns no locks.  All cross-thread state it touches
+/// is either per-index output slots (disjoint by construction), the
+/// capability-annotated ThreadPool/LruCache internals, or atomics
+/// (PipelineCounters, BudgetState::Cancelled) — see DESIGN.md §13.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OMEGA_PRESBURGER_PARALLEL_H

@@ -591,8 +591,6 @@ ParseResult omega::parseFormula(std::string_view Text) {
 
 Formula omega::parseFormulaOrDie(std::string_view Text) {
   ParseResult R = parseFormula(Text);
-  assert(R && "formula literal failed to parse");
-  if (!R)
-    return Formula::falseFormula();
+  check(bool(R), "formula literal failed to parse");
   return *R.Value;
 }

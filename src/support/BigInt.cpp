@@ -168,7 +168,7 @@ bool BigInt::fitsInt64() const {
 int64_t BigInt::toInt64() const {
   if (IsSmall)
     return Small;
-  assert(fitsInt64() && "BigInt does not fit in int64_t");
+  check(fitsInt64(), "BigInt does not fit in int64_t");
   uint64_t Mag = Limbs.size() > 1 ? (uint64_t(Limbs[1]) << 32) | Limbs[0]
                                   : Limbs[0];
   // Negate in unsigned arithmetic: for Mag == 2^63 (INT64_MIN's magnitude)
@@ -243,7 +243,7 @@ void BigInt::addMagnitude(std::vector<uint32_t> &A,
 
 void BigInt::subMagnitude(std::vector<uint32_t> &A,
                           const std::vector<uint32_t> &B) {
-  assert(compareMagnitude(A, B) >= 0 && "subMagnitude requires |A| >= |B|");
+  check(compareMagnitude(A, B) >= 0, "subMagnitude requires |A| >= |B|");
   int64_t Borrow = 0;
   for (size_t I = 0; I < A.size(); ++I) {
     int64_t S = int64_t(A[I]) - Borrow - (I < B.size() ? int64_t(B[I]) : 0);
@@ -254,7 +254,7 @@ void BigInt::subMagnitude(std::vector<uint32_t> &A,
     }
     A[I] = static_cast<uint32_t>(S);
   }
-  assert(Borrow == 0 && "magnitude subtraction underflow");
+  check(Borrow == 0, "magnitude subtraction underflow");
 }
 
 std::vector<uint32_t> BigInt::mulMagnitude(const std::vector<uint32_t> &A,
@@ -287,7 +287,7 @@ std::vector<uint32_t> BigInt::mulMagnitude(const std::vector<uint32_t> &A,
 std::vector<uint32_t>
 BigInt::divModMagnitude(std::vector<uint32_t> &A,
                         const std::vector<uint32_t> &B) {
-  assert(!B.empty() && "division by zero");
+  check(!B.empty(), "division by zero");
   if (compareMagnitude(A, B) < 0)
     return {};
   if (B.size() == 1) {
@@ -422,7 +422,7 @@ BigInt &BigInt::mulSlow(const BigInt &RHS) {
 
 void BigInt::divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
                     BigInt &Rem) {
-  assert(!Den.isZero() && "division by zero");
+  check(!Den.isZero(), "division by zero");
   if (Num.IsSmall && Den.IsSmall) {
     int64_t Q = Num.Small / Den.Small, R = Num.Small % Den.Small;
     noteFastOp();
@@ -484,14 +484,14 @@ BigInt BigInt::floorModSlow(const BigInt &Num, const BigInt &Den) {
   // Mathematical modulus: always in [0, |Den|).
   BigInt D = Den.abs();
   BigInt R = Num - floorDiv(Num, D) * D;
-  assert(R.sign() >= 0 && "floorMod result must be non-negative");
+  check(R.sign() >= 0, "floorMod result must be non-negative");
   return R;
 }
 
 BigInt BigInt::divExactSlow(const BigInt &Num, const BigInt &Den) {
   BigInt Q, R;
   divMod(Num, Den, Q, R);
-  assert(R.isZero() && "divExact: inexact division");
+  check(R.isZero(), "divExact: inexact division");
   return Q;
 }
 

@@ -21,9 +21,10 @@
 #ifndef OMEGA_SUPPORT_BIGINT_H
 #define OMEGA_SUPPORT_BIGINT_H
 
+#include "support/Error.h"
+
 #include <atomic>
 #include <bit>
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -198,7 +199,7 @@ public:
   BigInt &operator/=(const BigInt &RHS) {
     if (IsSmall && RHS.IsSmall) {
       // |Small| < 2^62 rules out INT64_MIN / -1, the only UB case.
-      assert(RHS.Small != 0 && "division by zero");
+      check(RHS.Small != 0, "division by zero");
       Small /= RHS.Small;
       noteFastOp();
       return *this;
@@ -208,7 +209,7 @@ public:
   /// Truncated remainder (sign follows the dividend).
   BigInt &operator%=(const BigInt &RHS) {
     if (IsSmall && RHS.IsSmall) {
-      assert(RHS.Small != 0 && "division by zero");
+      check(RHS.Small != 0, "division by zero");
       Small %= RHS.Small;
       noteFastOp();
       return *this;
@@ -267,7 +268,7 @@ public:
   /// Floor division: rounds toward negative infinity.
   static BigInt floorDiv(const BigInt &Num, const BigInt &Den) {
     if (Num.IsSmall && Den.IsSmall) {
-      assert(Den.Small != 0 && "division by zero");
+      check(Den.Small != 0, "division by zero");
       int64_t Q = Num.Small / Den.Small, R = Num.Small % Den.Small;
       if (R != 0 && ((R < 0) != (Den.Small < 0)))
         --Q;
@@ -278,7 +279,7 @@ public:
   /// Ceiling division: rounds toward positive infinity.
   static BigInt ceilDiv(const BigInt &Num, const BigInt &Den) {
     if (Num.IsSmall && Den.IsSmall) {
-      assert(Den.Small != 0 && "division by zero");
+      check(Den.Small != 0, "division by zero");
       int64_t Q = Num.Small / Den.Small, R = Num.Small % Den.Small;
       if (R != 0 && ((R < 0) == (Den.Small < 0)))
         ++Q;
@@ -289,7 +290,7 @@ public:
   /// Mathematical modulus: result in [0, |Den|).
   static BigInt floorMod(const BigInt &Num, const BigInt &Den) {
     if (Num.IsSmall && Den.IsSmall) {
-      assert(Den.Small != 0 && "division by zero");
+      check(Den.Small != 0, "division by zero");
       int64_t D = Den.Small < 0 ? -Den.Small : Den.Small;
       int64_t R = Num.Small % D;
       if (R < 0)
@@ -304,8 +305,8 @@ public:
   /// Bareiss pivot, or a divides() test — to skip the remainder work.
   static BigInt divExact(const BigInt &Num, const BigInt &Den) {
     if (Num.IsSmall && Den.IsSmall) {
-      assert(Den.Small != 0 && "division by zero");
-      assert(Num.Small % Den.Small == 0 && "divExact: inexact division");
+      check(Den.Small != 0, "division by zero");
+      check(Num.Small % Den.Small == 0, "divExact: inexact division");
       return BigInt(static_cast<long long>(Num.Small / Den.Small));
     }
     return divExactSlow(Num, Den);

@@ -54,21 +54,21 @@ struct EffortBudget {
   /// Nondeterministic by nature; see the determinism contract above.
   uint64_t DeadlineMs = 0;
 
-  bool unlimited() const {
+  [[nodiscard]] bool unlimited() const {
     return MaxCoefficientBits == 0 && MaxSplintersPerElimination == 0 &&
            MaxDnfClauses == 0 && MaxRecursionDepth == 0 && DeadlineMs == 0;
   }
 
   /// A copy with every non-zero counter knob multiplied by \p Factor and
   /// the deadline extended likewise, for the degraded bounds passes.
-  EffortBudget relaxed(uint64_t Factor) const;
+  [[nodiscard]] EffortBudget relaxed(uint64_t Factor) const;
 
   /// Parses "splinters=8,clauses=64,depth=12,bits=128,ms=500" (any subset,
   /// any order).  Keys: bits, splinters, clauses, depth, ms.
-  static Result<EffortBudget> parse(const std::string &Spec);
+  [[nodiscard]] static Result<EffortBudget> parse(const std::string &Spec);
 
   /// Inverse of parse(); "unlimited" when every knob is 0.
-  std::string toString() const;
+  [[nodiscard]] std::string toString() const;
 };
 
 /// Thrown when an EffortBudget limit trips.  Derives from std::exception
@@ -97,7 +97,9 @@ struct BudgetState {
 
   const EffortBudget Limits;
   /// Set by whichever checkpoint trips first; all other participants
-  /// observe it at their next checkpoint and bail.
+  /// observe it at their next checkpoint and bail.  A lone atomic flag
+  /// (plus const limits) is this struct's whole shared state, so it needs
+  /// no mutex and no OMEGA_GUARDED_BY annotations (DESIGN.md §13).
   std::atomic<bool> Cancelled{false};
   /// Steady-clock expiry in nanoseconds since epoch; 0 when no deadline.
   const uint64_t DeadlineNanos;

@@ -19,9 +19,10 @@
 #ifndef OMEGA_SUPPORT_CACHE_H
 #define OMEGA_SUPPORT_CACHE_H
 
+#include "support/ThreadAnnotations.h"
+
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -45,7 +46,7 @@ public:
   /// Returns a copy of the cached value and refreshes its recency, or
   /// nullopt on a miss.
   std::optional<Value> lookup(const std::string &Key) {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     if (Cap == 0)
       return std::nullopt;
     auto It = Map.find(Key);
@@ -61,7 +62,7 @@ public:
   /// Inserts (or refreshes) Key -> V, evicting least-recently-used entries
   /// beyond capacity.  Returns the number of entries evicted.
   size_t insert(const std::string &Key, Value V) {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     if (Cap == 0)
       return 0;
     auto It = Map.find(Key);
@@ -84,7 +85,7 @@ public:
   }
 
   void setCapacity(size_t Capacity) {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     Cap = Capacity;
     while (Map.size() > Cap) {
       Map.erase(Order.back().first);
@@ -94,41 +95,42 @@ public:
   }
 
   size_t capacity() const {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     return Cap;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     return Map.size();
   }
 
   /// Drops all entries (counters are kept; see resetStats).
   void clear() {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     Map.clear();
     Order.clear();
   }
 
   CacheStats stats() const {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     return St;
   }
 
   void resetStats() {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     St = CacheStats();
   }
 
 private:
-  mutable std::mutex M;
-  size_t Cap;
-  std::list<std::pair<std::string, Value>> Order; ///< Front = most recent.
+  mutable Mutex M;
+  size_t Cap OMEGA_GUARDED_BY(M);
+  /// Front = most recent.
+  std::list<std::pair<std::string, Value>> Order OMEGA_GUARDED_BY(M);
   std::unordered_map<std::string,
                      typename std::list<std::pair<std::string, Value>>::
                          iterator>
-      Map;
-  CacheStats St;
+      Map OMEGA_GUARDED_BY(M);
+  CacheStats St OMEGA_GUARDED_BY(M);
 };
 
 } // namespace omega

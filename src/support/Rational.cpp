@@ -2,13 +2,15 @@
 
 #include "support/Rational.h"
 
+#include "support/Error.h"
+
 #include <ostream>
 
 using namespace omega;
 
 Rational::Rational(BigInt Numerator, BigInt Denominator)
     : Num(std::move(Numerator)), Den(std::move(Denominator)) {
-  assert(!Den.isZero() && "rational with zero denominator");
+  check(!Den.isZero(), "rational with zero denominator");
   normalize();
 }
 
@@ -58,7 +60,7 @@ Rational &Rational::operator*=(const Rational &RHS) {
 }
 
 Rational &Rational::operator/=(const Rational &RHS) {
-  assert(!RHS.isZero() && "rational division by zero");
+  check(!RHS.isZero(), "rational division by zero");
   Num *= RHS.Den;
   Den *= RHS.Num;
   normalize();

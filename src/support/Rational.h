@@ -15,6 +15,7 @@
 #define OMEGA_SUPPORT_RATIONAL_H
 
 #include "support/BigInt.h"
+#include "support/Error.h"
 
 #include <iosfwd>
 #include <string>
@@ -40,7 +41,7 @@ public:
 
   /// Returns the value as a BigInt; asserts isInteger().
   const BigInt &asInteger() const {
-    assert(isInteger() && "rational is not an integer");
+    check(isInteger(), "rational is not an integer");
     return Num;
   }
 

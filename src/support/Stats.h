@@ -29,6 +29,12 @@
 namespace omega {
 
 /// The live (atomic) counter set.  Use snapshotPipelineStats() to read.
+///
+/// Every field is a std::atomic, so this struct carries no mutex and is
+/// exempt from OMEGA_GUARDED_BY annotations (DESIGN.md §13): concurrent
+/// increments from pool workers are safe by construction, and the snapshot
+/// reader tolerates tearing *across* counters (it reports a monotonic
+/// point-in-time view, not a consistent cut).
 struct PipelineCounters {
   // Work volume.
   std::atomic<uint64_t> FeasibilityTests{0};

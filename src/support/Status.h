@@ -19,7 +19,8 @@
 #ifndef OMEGA_SUPPORT_STATUS_H
 #define OMEGA_SUPPORT_STATUS_H
 
-#include <cassert>
+#include "support/Error.h"
+
 #include <optional>
 #include <string>
 #include <utility>
@@ -42,7 +43,7 @@ const char *errorKindName(ErrorKind K);
 
 /// One recoverable diagnostic: what, where in the pipeline, and where in
 /// the input.
-struct Error {
+struct [[nodiscard]] Error {
   ErrorKind Kind = ErrorKind::Internal;
   std::string Layer;    ///< Pipeline layer, e.g. "parser", "summation".
   std::string Message;  ///< Human-readable description.
@@ -54,7 +55,7 @@ struct Error {
 
 /// Outcome of a whole counting query, for callers that want to dispatch
 /// without inspecting the value (the CountStatus channel of DESIGN.md §9).
-enum class CountStatus {
+enum class [[nodiscard]] CountStatus {
   Exact,     ///< The answer is the exact count / sum.
   Bounded,   ///< Budget exhausted: answer UNKNOWN, certified bounds given.
   Unbounded, ///< The solution set is provably infinite.
@@ -64,20 +65,20 @@ enum class CountStatus {
 const char *countStatusName(CountStatus S);
 
 /// A value or an Error — the pipeline's expected-like return channel.
-template <typename T> class Result {
+template <typename T> class [[nodiscard]] Result {
 public:
   Result(T Value) : Val(std::move(Value)) {}
   Result(Error E) : Err(std::move(E)) {}
 
-  explicit operator bool() const { return Val.has_value(); }
-  bool ok() const { return Val.has_value(); }
+  [[nodiscard]] explicit operator bool() const { return Val.has_value(); }
+  [[nodiscard]] bool ok() const { return Val.has_value(); }
 
-  T &value() {
-    assert(Val && "value() on an error Result");
+  [[nodiscard]] T &value() {
+    check(Val.has_value(), "value() on an error Result");
     return *Val;
   }
-  const T &value() const {
-    assert(Val && "value() on an error Result");
+  [[nodiscard]] const T &value() const {
+    check(Val.has_value(), "value() on an error Result");
     return *Val;
   }
   T &operator*() { return value(); }
@@ -85,13 +86,13 @@ public:
   T *operator->() { return &value(); }
   const T *operator->() const { return &value(); }
 
-  const Error &error() const {
-    assert(!Val && "error() on an ok Result");
+  [[nodiscard]] const Error &error() const {
+    check(!Val.has_value(), "error() on an ok Result");
     return Err;
   }
 
   /// The value, or \p Fallback when this holds an error.
-  T valueOr(T Fallback) const { return Val ? *Val : std::move(Fallback); }
+  [[nodiscard]] T valueOr(T Fallback) const { return Val ? *Val : std::move(Fallback); }
 
 private:
   std::optional<T> Val;

@@ -1,0 +1,174 @@
+//===- support/ThreadAnnotations.h - Clang capability analysis -*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiler-checked lock discipline for the concurrency layer (DESIGN.md
+/// §13).  Two things live here:
+///
+///   1. The Abseil/LLVM-style capability-annotation macros
+///      (OMEGA_GUARDED_BY, OMEGA_REQUIRES, ...).  Under Clang with
+///      -Wthread-safety these become `__attribute__((...))` and turn
+///      unguarded accesses and lock-order mistakes into compile errors
+///      (the ci.sh analyze leg builds with -Werror=thread-safety); under
+///      every other compiler they expand to nothing, so annotations are
+///      zero-cost and portable.
+///
+///   2. Annotated synchronization primitives: Mutex (a std::mutex carrying
+///      the CAPABILITY attribute), MutexLock / UniqueLock (scoped
+///      capabilities), and ConditionVariable (condition_variable_any, so
+///      it can wait on a UniqueLock).  Clang's analysis knows nothing
+///      about raw std::mutex, so all lock-protected state in this repo
+///      uses these wrappers — omegatidy's mutex-wrapper rule enforces it.
+///
+/// Annotation model: every mutable field a mutex protects is declared
+/// OMEGA_GUARDED_BY(that mutex); functions that expect the caller to hold
+/// a lock say OMEGA_REQUIRES(m).  Deliberately *unannotated* state is one
+/// of: std::atomic fields (safe unguarded by construction), per-thread
+/// data reached only through thread_local (the trace ring buffers), or
+/// condition variables (internally synchronized).  DESIGN.md §13 lists
+/// every capability in the system and its lock ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SUPPORT_THREADANNOTATIONS_H
+#define OMEGA_SUPPORT_THREADANNOTATIONS_H
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define OMEGA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OMEGA_THREAD_ANNOTATION(x) // no-op off Clang
+#endif
+
+/// A type that is a lockable capability ("mutex", "role", ...).
+#define OMEGA_CAPABILITY(x) OMEGA_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires a capability in its constructor and releases
+/// it in its destructor.
+#define OMEGA_SCOPED_CAPABILITY OMEGA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding the given capability.
+#define OMEGA_GUARDED_BY(x) OMEGA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define OMEGA_PT_GUARDED_BY(x) OMEGA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations: this capability must be acquired before /
+/// after the listed ones.
+#define OMEGA_ACQUIRED_BEFORE(...)                                            \
+  OMEGA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define OMEGA_ACQUIRED_AFTER(...)                                             \
+  OMEGA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the caller to hold (exclusively / shared) the listed
+/// capabilities on entry, and does not release them.
+#define OMEGA_REQUIRES(...)                                                   \
+  OMEGA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define OMEGA_REQUIRES_SHARED(...)                                            \
+  OMEGA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the listed capabilities (no argument on a
+/// scoped-capability member means "the capability this object manages").
+#define OMEGA_ACQUIRE(...)                                                    \
+  OMEGA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define OMEGA_ACQUIRE_SHARED(...)                                             \
+  OMEGA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define OMEGA_RELEASE(...)                                                    \
+  OMEGA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define OMEGA_RELEASE_SHARED(...)                                             \
+  OMEGA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return
+/// value that means success.
+#define OMEGA_TRY_ACQUIRE(...)                                                \
+  OMEGA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called *without* the listed capabilities held
+/// (deadlock prevention for self-locking methods).
+#define OMEGA_EXCLUDES(...) OMEGA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define OMEGA_RETURN_CAPABILITY(x) OMEGA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately outside what the
+/// analysis can model.  Every use needs a justifying comment.
+#define OMEGA_NO_THREAD_SAFETY_ANALYSIS                                       \
+  OMEGA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace omega {
+
+/// std::mutex carrying the capability attribute so Clang's analysis can
+/// track it.  Zero overhead: every method is an inline forward.
+class OMEGA_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() OMEGA_ACQUIRE() { M.lock(); }
+  void unlock() OMEGA_RELEASE() { M.unlock(); }
+  bool tryLock() OMEGA_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+private:
+  std::mutex M;
+};
+
+/// Scoped lock (std::lock_guard shape): acquires in the constructor,
+/// releases in the destructor, no unlocking in between.
+class OMEGA_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) OMEGA_ACQUIRE(M) : Mu(M) { Mu.lock(); }
+  ~MutexLock() OMEGA_RELEASE() { Mu.unlock(); }
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  Mutex &Mu;
+};
+
+/// Scoped lock that supports explicit unlock/relock (std::unique_lock
+/// shape) and satisfies BasicLockable, so ConditionVariable can wait on
+/// it.  Destroying it unlocked is fine; destroying it locked unlocks.
+class OMEGA_SCOPED_CAPABILITY UniqueLock {
+public:
+  explicit UniqueLock(Mutex &M) OMEGA_ACQUIRE(M) : Mu(M), Held(true) {
+    Mu.lock();
+  }
+  ~UniqueLock() OMEGA_RELEASE() {
+    if (Held)
+      Mu.unlock();
+  }
+
+  void lock() OMEGA_ACQUIRE() {
+    Mu.lock();
+    Held = true;
+  }
+  void unlock() OMEGA_RELEASE() {
+    Held = false;
+    Mu.unlock();
+  }
+
+  UniqueLock(const UniqueLock &) = delete;
+  UniqueLock &operator=(const UniqueLock &) = delete;
+
+private:
+  Mutex &Mu;
+  bool Held;
+};
+
+/// Condition variable that waits on a UniqueLock.  ConditionVariable is
+/// internally synchronized, so members of this type are exempt from
+/// OMEGA_GUARDED_BY (DESIGN.md §13).  Waits release and reacquire the
+/// lock internally; the capability state on return is the same as on
+/// entry, which is exactly what the analysis assumes.
+using ConditionVariable = std::condition_variable_any;
+
+} // namespace omega
+
+#endif // OMEGA_SUPPORT_THREADANNOTATIONS_H

@@ -1,14 +1,25 @@
 //===- support/ThreadPool.cpp - Fixed-size worker pool -------------------===//
+//
+// Locking discipline (checked by -Wthread-safety, DESIGN.md §13): one
+// capability, Impl::M, guards the whole batch state — the job pointer,
+// index/done counters, first-error slot, shutdown flag, and the thread
+// vector.  Workers drop M around the user callback (the only unlocked
+// region) and reacquire it to record completion.  Condition variables are
+// internally synchronized and the predicate loops are written out long-hand
+// because the analysis cannot look inside a wait-predicate lambda.
+//
+//===----------------------------------------------------------------------===//
 
 #include "support/ThreadPool.h"
 
 #include <atomic>
 
 #ifdef OMEGA_PARALLEL
-#include <condition_variable>
+#include "support/ThreadAnnotations.h"
+
 #include <exception>
-#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 #endif
 
@@ -28,25 +39,26 @@ bool ThreadPool::onWorkerThread() { return IsWorkerThread; }
 #ifdef OMEGA_PARALLEL
 
 struct ThreadPool::Impl {
-  std::mutex M;
-  std::condition_variable WorkCv;
-  std::condition_variable DoneCv;
-  std::vector<std::thread> Threads;
+  Mutex M;
+  ConditionVariable WorkCv;
+  ConditionVariable DoneCv;
+  std::vector<std::thread> Threads OMEGA_GUARDED_BY(M);
 
   // The current batch.  Fn is non-null while a batch is active; workers
   // claim indices from Next and count completions into Done.
-  const std::function<void(size_t)> *Fn = nullptr;
-  size_t N = 0;
-  size_t Next = 0;
-  size_t Done = 0;
-  std::exception_ptr FirstError;
-  bool Shutdown = false;
+  const std::function<void(size_t)> *Fn OMEGA_GUARDED_BY(M) = nullptr;
+  size_t N OMEGA_GUARDED_BY(M) = 0;
+  size_t Next OMEGA_GUARDED_BY(M) = 0;
+  size_t Done OMEGA_GUARDED_BY(M) = 0;
+  std::exception_ptr FirstError OMEGA_GUARDED_BY(M);
+  bool Shutdown OMEGA_GUARDED_BY(M) = false;
 
   void workerLoop() {
     IsWorkerThread = true;
-    std::unique_lock<std::mutex> Lock(M);
+    UniqueLock Lock(M);
     while (true) {
-      WorkCv.wait(Lock, [&] { return Shutdown || (Fn && Next < N); });
+      while (!Shutdown && !(Fn && Next < N))
+        WorkCv.wait(Lock);
       if (Shutdown)
         return;
       size_t I = Next++;
@@ -66,21 +78,27 @@ struct ThreadPool::Impl {
     }
   }
 
-  void ensureThreads(unsigned Count) {
+  void ensureThreads(unsigned Count) OMEGA_REQUIRES(M) {
     while (Threads.size() < Count)
       Threads.emplace_back([this] { workerLoop(); });
   }
 };
 
+// Pimpl: Impl is incomplete in the header, so the raw pointer is owned
+// here and freed in the destructor.  omegatidy: allow(naked-new)
 ThreadPool::ThreadPool() : P(new Impl) {}
 
 ThreadPool::~ThreadPool() {
+  std::vector<std::thread> ToJoin;
   {
-    std::lock_guard<std::mutex> Lock(P->M);
+    MutexLock Lock(P->M);
     P->Shutdown = true;
+    // Joining must happen unlocked (workers need M to observe Shutdown),
+    // so move the threads out while still holding the capability.
+    ToJoin = std::move(P->Threads);
   }
   P->WorkCv.notify_all();
-  for (std::thread &T : P->Threads)
+  for (std::thread &T : ToJoin)
     T.join();
   delete P;
 }
@@ -96,7 +114,7 @@ void ThreadPool::run(size_t N, const std::function<void(size_t)> &Fn) {
   }
   std::exception_ptr Err;
   {
-    std::unique_lock<std::mutex> Lock(P->M);
+    UniqueLock Lock(P->M);
     P->ensureThreads(W);
     P->Fn = &Fn;
     P->N = N;
@@ -104,7 +122,8 @@ void ThreadPool::run(size_t N, const std::function<void(size_t)> &Fn) {
     P->Done = 0;
     P->FirstError = nullptr;
     P->WorkCv.notify_all();
-    P->DoneCv.wait(Lock, [&] { return P->Done == P->N; });
+    while (P->Done != P->N)
+      P->DoneCv.wait(Lock);
     P->Fn = nullptr;
     Err = P->FirstError;
   }

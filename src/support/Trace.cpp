@@ -12,12 +12,13 @@
 
 #include "support/Trace.h"
 
+#include "support/ThreadAnnotations.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <sstream>
 
 using namespace omega;
@@ -52,12 +53,26 @@ struct ThreadRing {
   }
 };
 
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 struct Registry {
-  std::mutex M;
-  std::vector<std::shared_ptr<ThreadRing>> Rings;
+  Mutex M;
+  /// Every thread's completed-span ring.  The rings themselves are
+  /// single-writer thread-local state and deliberately unannotated:
+  /// stopTracing() reads them under the start/stop contract ("no traced
+  /// query in flight"), which the capability model cannot express
+  /// (DESIGN.md §13).  Only the registry vector is guarded.
+  std::vector<std::shared_ptr<ThreadRing>> Rings OMEGA_GUARDED_BY(M);
   std::atomic<uint64_t> NextId{1};
-  std::chrono::steady_clock::time_point SessionStart =
-      std::chrono::steady_clock::now();
+  /// Session epoch in steady-clock nanoseconds.  Atomic, not guarded:
+  /// startTracing() writes it while every instrumentation site reads it
+  /// unlocked — a GUARDED_BY here would either race or serialize spans.
+  std::atomic<uint64_t> SessionStartNs{nowNs()};
 };
 
 Registry &registry() {
@@ -84,7 +99,7 @@ struct ThreadState {
     if (!Ring) {
       Ring = std::make_shared<ThreadRing>();
       Registry &R = registry();
-      std::lock_guard<std::mutex> Lock(R.M);
+      MutexLock Lock(R.M);
       Ring->Tid = static_cast<uint32_t>(R.Rings.size());
       R.Rings.push_back(Ring);
     }
@@ -95,10 +110,7 @@ struct ThreadState {
 thread_local ThreadState TLS;
 
 uint64_t sinceSessionStartNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - registry().SessionStart)
-          .count());
+  return nowNs() - registry().SessionStartNs.load(std::memory_order_relaxed);
 }
 
 const char *counterName(unsigned I) {
@@ -141,18 +153,18 @@ std::string jsonEscape(const std::string &S) {
 
 void omega::startTracing() {
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   for (const std::shared_ptr<ThreadRing> &Ring : R.Rings)
     Ring->clear();
   R.NextId.store(1, std::memory_order_relaxed);
-  R.SessionStart = std::chrono::steady_clock::now();
+  R.SessionStartNs.store(nowNs(), std::memory_order_relaxed);
   trace_detail::Enabled.store(true, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const TraceData> omega::stopTracing() {
   trace_detail::Enabled.store(false, std::memory_order_relaxed);
   Registry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.M);
+  MutexLock Lock(R.M);
   auto Data = std::make_shared<TraceData>();
   for (const std::shared_ptr<ThreadRing> &Ring : R.Rings) {
     Data->Dropped += Ring->Dropped;
@@ -170,6 +182,8 @@ std::shared_ptr<const TraceData> omega::stopTracing() {
 TraceSpan::TraceSpan(const char *Name) : Rec(nullptr) {
   if (!tracingEnabled())
     return;
+  // Tracing-on cost is not gated; the open-span stack is intrusive and
+  // per-thread, released in ~TraceSpan.  omegatidy: allow(naked-new)
   OpenSpan *OS = new OpenSpan;
   OS->Rec.Id = registry().NextId.fetch_add(1, std::memory_order_relaxed);
   OS->Rec.Parent = TLS.Open ? TLS.Open->Rec.Id : TLS.TaskParent;

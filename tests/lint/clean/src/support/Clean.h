@@ -1,0 +1,42 @@
+// omegatidy positive fixture: a header that follows every rule — correct
+// path-spelling guard, annotated locking through the ThreadAnnotations
+// wrappers, exempt atomic/const/ConditionVariable members, and one
+// deliberately suppressed naked-new.  OmegatidyTest asserts zero findings.
+#ifndef OMEGA_SUPPORT_CLEAN_H
+#define OMEGA_SUPPORT_CLEAN_H
+
+#include "support/ThreadAnnotations.h"
+
+#include <atomic>
+#include <vector>
+
+namespace omega {
+
+class GuardedCounter {
+public:
+  void bump() {
+    MutexLock Lock(M);
+    ++Count;
+  }
+
+  struct Impl;
+
+  Impl *make() {
+    // Pimpl handed to a unique_ptr by the caller.
+    // omegatidy: allow(naked-new)
+    return new Impl;
+  }
+
+private:
+  mutable Mutex M;
+  long Count OMEGA_GUARDED_BY(M) = 0;
+  std::vector<int> History OMEGA_GUARDED_BY(M);
+  std::atomic<unsigned> Peeks{0};
+  ConditionVariable Cv;
+  const unsigned Capacity = 16;
+  static constexpr unsigned Limit = 32;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SUPPORT_CLEAN_H

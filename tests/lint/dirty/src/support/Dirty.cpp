@@ -1,0 +1,14 @@
+// omegatidy negative fixture (never compiled): expression-level
+// violations — assert in src/, naked allocation, unnamed TraceSpan.
+
+#include <assert.h>
+
+void leaky() {
+  assert(2 + 2 == 4);
+  int *P = new int(3);
+  char *Buf = static_cast<char *>(malloc(16));
+  TraceSpan("phase");
+  omega::TraceSpan("sub");
+  free(Buf);
+  delete P;
+}

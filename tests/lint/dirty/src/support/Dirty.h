@@ -1,0 +1,29 @@
+// omegatidy negative fixture: every block below violates one rule.  This
+// file is never compiled; it exists so OmegatidyTest can assert the linter
+// reports exactly these findings (tests/ is outside the directories the
+// omegatidy_tree test walks, so the violations never gate the build).
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+#include "../escape/Path.h"
+#include <cassert>
+#include <mutex>
+
+using namespace std;
+
+struct RawLocking {
+  std::mutex M;
+  int Hits = 0;
+};
+
+class Counter {
+public:
+  void bump();
+
+private:
+  Mutex M;
+  long Count = 0;
+  unsigned Capacity;
+};
+
+#endif // WRONG_GUARD_H

@@ -1,0 +1,33 @@
+// Compile-fail fixture for the Clang capability analysis: reading and
+// writing an OMEGA_GUARDED_BY field without holding its Mutex.  The
+// thread_safety_fail ctest (and the ci.sh analyze leg) compile this with
+// `-Wthread-safety -Werror=thread-safety -fsyntax-only` and require the
+// compilation to FAIL — proving the annotations actually reject the bug
+// class they exist for.  Under gcc the annotations are no-ops and this
+// file compiles, which is why the test only runs under Clang.
+
+#include "support/ThreadAnnotations.h"
+
+namespace {
+
+class Cache {
+public:
+  // BUG (intentional): touches Hits and Size without acquiring M.
+  void recordHitUnlocked() {
+    ++Hits;
+    Size = Hits;
+  }
+
+private:
+  omega::Mutex M;
+  unsigned Hits OMEGA_GUARDED_BY(M) = 0;
+  unsigned Size OMEGA_GUARDED_BY(M) = 0;
+};
+
+} // namespace
+
+int main() {
+  Cache C;
+  C.recordHitUnlocked();
+  return 0;
+}

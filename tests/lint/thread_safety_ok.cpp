@@ -1,0 +1,35 @@
+// Companion to thread_safety_fail.cpp: the same guarded state accessed
+// correctly through MutexLock.  Must compile *clean* under
+// `-Wthread-safety -Werror=thread-safety`, proving the passing half of
+// the capability analysis (no false positives on the blessed idiom).
+
+#include "support/ThreadAnnotations.h"
+
+namespace {
+
+class Cache {
+public:
+  void recordHit() {
+    omega::MutexLock Lock(M);
+    ++Hits;
+    Size = Hits;
+  }
+
+  unsigned size() {
+    omega::MutexLock Lock(M);
+    return Size;
+  }
+
+private:
+  omega::Mutex M;
+  unsigned Hits OMEGA_GUARDED_BY(M) = 0;
+  unsigned Size OMEGA_GUARDED_BY(M) = 0;
+};
+
+} // namespace
+
+int main() {
+  Cache C;
+  C.recordHit();
+  return static_cast<int>(C.size()) - 1;
+}

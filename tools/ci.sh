@@ -8,6 +8,12 @@ set -eu
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 prefix=${1:-"$root/build-ci"}
 
+# Sanitized legs: make every UBSan finding fatal-with-stack and honor the
+# committed suppression file (tools/sanitize.supp — empty by policy, see
+# its header).  Harmless on unsanitized legs.
+UBSAN_OPTIONS="suppressions=$root/tools/sanitize.supp:print_stacktrace=1"
+export UBSAN_OPTIONS
+
 run_matrix() {
   dir=$1
   shift
@@ -184,8 +190,54 @@ PYEOF
   echo "=== trace: $dir clean"
 }
 
+# Analyze leg: the static-analysis gate (README "Static analysis").
+#   1. omegatidy over src/ tools/ bench/ — zero findings required.
+#   2. Clang capability analysis: full build at -DOMEGA_THREAD_SAFETY=ON
+#      (-Wthread-safety -Werror=thread-safety), plus the fixture pair —
+#      thread_safety_fail.cpp must be REJECTED, thread_safety_ok.cpp must
+#      compile clean.  Probed: skipped with a notice when clang++ is not
+#      installed (gcc compiles the annotations to no-ops).
+#   3. clang-tidy (expanded .clang-tidy: bugprone/performance/concurrency)
+#      over src/ via the compilation database, bounded to library sources
+#      so the leg stays minutes, not hours.
+# Needs the default leg's build dir for the omegatidy binary and
+# compile_commands.json, so run_matrix "$prefix-default" must come first.
+analyze_leg() {
+  dir="$prefix-default"
+  echo "=== analyze: omegatidy"
+  "$dir/tools/omegatidy" "$root/src" "$root/tools" "$root/bench"
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== analyze: clang -Wthread-safety build"
+    cmake -B "$prefix-analyze" -S "$root" -DCMAKE_CXX_COMPILER=clang++ \
+      -DOMEGA_THREAD_SAFETY=ON
+    cmake --build "$prefix-analyze" -j
+    echo "=== analyze: capability-analysis fixtures"
+    ts="clang++ -std=c++20 -I$root/src -Wthread-safety
+        -Werror=thread-safety -fsyntax-only"
+    if $ts "$root/tests/lint/thread_safety_fail.cpp" 2>/dev/null; then
+      echo "analyze: thread_safety_fail.cpp compiled; -Wthread-safety" \
+           "failed to reject an unguarded access" >&2
+      exit 1
+    fi
+    $ts "$root/tests/lint/thread_safety_ok.cpp"
+  else
+    echo "=== analyze: clang++ unavailable, thread-safety build skipped"
+  fi
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== analyze: clang-tidy"
+    find "$root/src" -name '*.cpp' \
+      | xargs clang-tidy -quiet -p "$dir"
+  else
+    echo "=== analyze: clang-tidy unavailable, skipped"
+  fi
+  echo "=== analyze: clean"
+}
+
 # Tier 1: the default configuration every change must keep green.
 run_matrix "$prefix-default"
+analyze_leg
 
 # Hardened: boundary validation on, AddressSanitizer + UBSan.
 run_matrix "$prefix-hardened" \

@@ -1,0 +1,128 @@
+//===- tools/omegatidy.cpp - Project invariant linter --------------------===//
+//
+// Token-level enforcement of the repo's coding invariants (the rule list
+// lives in TidyLint.h; README "Static analysis" documents the why):
+//
+//   omegatidy src tools bench        # walk directories for .h/.cpp
+//   omegatidy src/support/Cache.h    # or lint single files
+//
+// Findings print as `path:line:col: rule: message` — the same positioned
+// shape as the parser's diagnostics — and the exit status is nonzero iff
+// anything was found, so the ci.sh analyze leg can gate on it.  A finding
+// is silenced by `// omegatidy: allow(rule)` on its line or the line
+// above; suppressions are deliberate and reviewable in the diff.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TidyLint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace omega;
+
+namespace {
+
+/// Repo-relative spelling of \p Path: the suffix starting at the last
+/// path component named src/tools/bench/tests, or the bare filename when
+/// none is present (rules then apply their least path-restricted form).
+std::string relativize(const std::string &Path) {
+  std::filesystem::path P =
+      std::filesystem::path(Path).lexically_normal();
+  std::vector<std::string> Parts;
+  for (const auto &Component : P)
+    Parts.push_back(Component.string());
+  for (size_t I = Parts.size(); I-- > 0;) {
+    const std::string &C = Parts[I];
+    if (C == "src" || C == "tools" || C == "bench" || C == "tests") {
+      std::string Rel;
+      for (size_t J = I; J < Parts.size(); ++J) {
+        if (!Rel.empty())
+          Rel += '/';
+        Rel += Parts[J];
+      }
+      return Rel;
+    }
+  }
+  return P.filename().string();
+}
+
+bool lintable(const std::filesystem::path &P) {
+  std::string Ext = P.extension().string();
+  return Ext == ".h" || Ext == ".cpp" || Ext == ".cc";
+}
+
+int lintFile(const std::string &Path, size_t &Findings) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::cerr << "omegatidy: error: cannot read " << Path << "\n";
+    return 1;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  for (const tidy::Finding &F :
+       tidy::lintSource(Path, relativize(Path), SS.str())) {
+    std::cout << F.toString() << "\n";
+    ++Findings;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Paths;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      std::cout << "usage: omegatidy <file-or-dir>...\n"
+                   "Lints .h/.cpp files against the repo invariants: "
+                   "assert, naked-new,\nmutex-wrapper, guarded-by, "
+                   "trace-span-temp, header-guard, include-hygiene.\n"
+                   "Suppress one finding with `// omegatidy: allow(rule)` "
+                   "on or above its line.\nExits nonzero iff findings "
+                   "remain.\n";
+      return 0;
+    }
+    if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "omegatidy: unknown option: " << Arg << "\n";
+      return 1;
+    }
+    Paths.push_back(Arg);
+  }
+  if (Paths.empty()) {
+    std::cerr << "omegatidy: no inputs (try --help)\n";
+    return 1;
+  }
+
+  size_t Files = 0, Findings = 0;
+  int Errors = 0;
+  for (const std::string &P : Paths) {
+    std::error_code EC;
+    if (std::filesystem::is_directory(P, EC)) {
+      std::vector<std::string> Found;
+      for (const auto &Entry :
+           std::filesystem::recursive_directory_iterator(P, EC))
+        if (Entry.is_regular_file() && lintable(Entry.path()))
+          Found.push_back(Entry.path().string());
+      std::sort(Found.begin(), Found.end());
+      for (const std::string &F : Found) {
+        ++Files;
+        Errors += lintFile(F, Findings);
+      }
+    } else {
+      ++Files;
+      Errors += lintFile(P, Findings);
+    }
+  }
+
+  std::cout << "omegatidy: " << Files << " file" << (Files == 1 ? "" : "s")
+            << ", " << Findings << " finding" << (Findings == 1 ? "" : "s")
+            << "\n";
+  return (Findings == 0 && Errors == 0) ? 0 : 1;
+}
