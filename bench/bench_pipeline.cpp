@@ -223,7 +223,7 @@ int main(int Argc, char **Argv) {
   unsigned Cores = std::thread::hardware_concurrency();
 
   std::ostringstream JS;
-  JS << "{\"schema\":2,\"bench\":\"pipeline\",\"scale\":" << Scale
+  JS << "{\"schema\":3,\"bench\":\"pipeline\",\"scale\":" << Scale
      << ",\"reps\":" << Reps << ",\"workers\":" << Workers
      << ",\"hardware_concurrency\":" << Cores << ",\"configs\":[";
   for (size_t I = 0; I < Results.size(); ++I) {

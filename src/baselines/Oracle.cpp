@@ -1,0 +1,28 @@
+//===- baselines/Oracle.cpp - Self-bounding brute-force oracle -----------===//
+
+#include "baselines/Oracle.h"
+
+#include "counting/Backend.h"
+
+using namespace omega;
+
+Result<BigInt> omega::oracleCount(const Formula &F, const VarSet &Vars) {
+  CountOptions Opts;
+  Opts.Backend = BackendKind::Enumerate;
+  CountResult R = countSolutions(F, Vars, Opts);
+  switch (R.Status) {
+  case CountStatus::Exact:
+    return R.Value.evaluateInt(Assignment{});
+  case CountStatus::Unbounded:
+    return Error{ErrorKind::Unsupported, "oracle",
+                 "solution set is unbounded; refusing to truncate the "
+                 "sweep to a finite window",
+                 ""};
+  case CountStatus::Error:
+    return R.Err;
+  case CountStatus::Bounded:
+    break; // the enumerate backend never degrades
+  }
+  return Error{ErrorKind::Internal, "oracle",
+               "enumerate backend returned an impossible status", ""};
+}

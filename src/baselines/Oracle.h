@@ -1,0 +1,40 @@
+//===- baselines/Oracle.h - Self-bounding brute-force oracle ---*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential-testing ground truth, promoted from the test-only
+/// enumerate-over-a-caller-box helpers (baselines/Enumerator.h) to a real
+/// refusing API: oracleCount derives its own bounding box by exact
+/// projection and *refuses* — a typed Unsupported error — whenever the
+/// input is outside its contract, instead of silently truncating the sweep
+/// at an arbitrary window and miscounting.  A wrong oracle is worse than
+/// no oracle (DESIGN.md §14).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_BASELINES_ORACLE_H
+#define OMEGA_BASELINES_ORACLE_H
+
+#include "presburger/Formula.h"
+#include "support/Status.h"
+
+namespace omega {
+
+/// Counts the integer solutions of \p F over \p Vars by brute-force
+/// enumeration of a self-derived bounding box.  Exact or refuses:
+///
+///   * symbolic constants (free variables of F outside Vars) — refused;
+///   * an unbounded solution set — refused with a message naming the
+///     unboundedness (never a count truncated at a window edge);
+///   * a derived box over the volume cap — refused.
+///
+/// Quantifiers are eliminated exactly before the sweep, so witnesses need
+/// no search window.
+Result<BigInt> oracleCount(const Formula &F, const VarSet &Vars);
+
+} // namespace omega
+
+#endif // OMEGA_BASELINES_ORACLE_H

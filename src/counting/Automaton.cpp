@@ -1,0 +1,365 @@
+//===- counting/Automaton.cpp - Constraint-automaton counting ------------===//
+//
+// Per-constraint DFAs over LSB-first binary encodings, product-intersected
+// on the fly, accepting paths counted by dynamic programming.
+//
+// Encoding: each counted variable v with bounds [Lo, Hi] is shifted to
+// v' = v - Lo, so all tracks carry non-negative integers, read one bit per
+// variable per step for W = bitwidth(max range) steps.  A path through the
+// product then *is* a point of the box, and the per-atom DFAs decide which
+// atoms that point satisfies:
+//
+//   Eq  (e = 0):  state c = "remaining constant"; on bits b with
+//                 s = Σ aᵢbᵢ, reject unless c - s is even, else
+//                 c' = (c - s)/2.  Accept at end iff c == 0.
+//   Ge  (e ≥ 0):  rewrite Σ aᵢxᵢ + K ≥ 0 as Σ(-aᵢ)xᵢ ≤ K; state c with
+//                 c' = floor((c - s)/2) where s = Σ(-aᵢ)bᵢ.  Accept at end
+//                 iff c ≥ 0.  (x = b + 2y ⇒ Σdᵢyᵢ ≤ floor((c - s)/2).)
+//   Stride (m|e): state (r, p) = (e's bits so far mod m, 2^step mod m);
+//                 (r, p) → ((r + p·s) mod m, 2p mod m).  Accept iff r == 0.
+//
+// A rejecting ("dead") state only means *that atom* is false on the path —
+// the path stays alive and the formula's And/Or/Not structure is evaluated
+// over the per-atom accept bits at the end, so overlapping disjuncts are
+// never double-counted and negation needs no complementation.  Only the
+// synthetic range atoms v' ≤ Hi - Lo prune paths, clipping the walk to the
+// box.
+//
+//===----------------------------------------------------------------------===//
+
+#include "counting/Automaton.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+using namespace omega;
+
+namespace {
+
+Error unsupported(std::string Msg) {
+  return Error{ErrorKind::Unsupported, "automaton", std::move(Msg), ""};
+}
+
+constexpr int64_t DeadRaw = INT64_MIN;
+
+/// One atom lowered to the shifted integer tracks.
+struct AtomSpec {
+  ConstraintKind Kind;
+  /// (track index, coefficient) for the atom's support, shifted space.
+  std::vector<std::pair<unsigned, int64_t>> Terms;
+  int64_t K = 0;   ///< Constant after the v = v' + Lo shift.
+  int64_t Mod = 0; ///< Stride modulus (Stride only).
+  bool Required = false; ///< Synthetic range atom: reject ⇒ prune path.
+};
+
+int64_t floorHalf(int64_t T) { return T >= 0 ? T >> 1 : -((-T + 1) >> 1); }
+
+/// The raw successor state, or DeadRaw.  \p S is Σ coeffᵢ·bitᵢ for Eq and
+/// the stride, Σ(-coeffᵢ)·bitᵢ folded by the caller for Ge.
+int64_t stepRaw(const AtomSpec &A, int64_t Raw, int64_t S) {
+  switch (A.Kind) {
+  case ConstraintKind::Eq: {
+    int64_t T = Raw - S;
+    if (T & 1)
+      return DeadRaw;
+    return T / 2;
+  }
+  case ConstraintKind::Ge:
+    return floorHalf(Raw - S);
+  case ConstraintKind::Stride: {
+    int64_t R = Raw / A.Mod, P = Raw % A.Mod;
+    int64_t Sm = ((S % A.Mod) + A.Mod) % A.Mod;
+    return ((R + P * Sm) % A.Mod) * A.Mod + (2 * P) % A.Mod;
+  }
+  }
+  fatalError("stepRaw: unknown constraint kind");
+}
+
+bool acceptRaw(const AtomSpec &A, int64_t Raw) {
+  if (Raw == DeadRaw)
+    return false;
+  switch (A.Kind) {
+  case ConstraintKind::Eq:
+    return Raw == 0;
+  case ConstraintKind::Ge:
+    return Raw >= 0;
+  case ConstraintKind::Stride:
+    return Raw / A.Mod == 0;
+  }
+  fatalError("acceptRaw: unknown constraint kind");
+}
+
+/// One atom's DFA with interned states.  State 0 is the absorbing dead
+/// state; the local alphabet covers only the atom's support bits, and
+/// LocalOf gathers a global letter (one bit per track) into a local one.
+struct Dfa {
+  std::vector<int64_t> Raw;                ///< Interned raw state values.
+  std::vector<std::vector<uint32_t>> Next; ///< [state][local letter].
+  std::vector<char> Accept;
+  uint32_t Initial = 0;
+  std::vector<uint32_t> LocalOf; ///< [global letter] -> local letter.
+};
+
+/// Builds the DFA by BFS closure over the (finite) reachable raw states.
+Result<Dfa> buildDfa(const AtomSpec &A, unsigned NumTracks,
+                     const AutomatonLimits &Limits) {
+  Dfa D;
+  unsigned SupportBits = static_cast<unsigned>(A.Terms.size());
+  unsigned NumLocal = 1u << SupportBits;
+
+  // Gather table: global letter -> packed support bits.
+  D.LocalOf.assign(size_t(1) << NumTracks, 0);
+  for (size_t G = 0; G < D.LocalOf.size(); ++G) {
+    uint32_t L = 0;
+    for (unsigned B = 0; B < SupportBits; ++B)
+      if (G >> A.Terms[B].first & 1)
+        L |= 1u << B;
+    D.LocalOf[G] = L;
+  }
+
+  // Per local letter, the signed sum the transition functions consume
+  // (already negated for Ge by the caller's choice of Terms signs).
+  std::vector<int64_t> SumOf(NumLocal, 0);
+  for (unsigned L = 0; L < NumLocal; ++L)
+    for (unsigned B = 0; B < SupportBits; ++B)
+      if (L >> B & 1)
+        SumOf[L] += A.Terms[B].second;
+
+  std::unordered_map<int64_t, uint32_t> Ids;
+  auto Intern = [&](int64_t RawState) -> uint32_t {
+    if (RawState == DeadRaw)
+      return 0;
+    auto [It, Inserted] = Ids.try_emplace(RawState, uint32_t(D.Raw.size()));
+    if (Inserted) {
+      D.Raw.push_back(RawState);
+      D.Accept.push_back(acceptRaw(A, RawState));
+      D.Next.emplace_back(); // filled when dequeued
+    }
+    return It->second;
+  };
+
+  // Dead state 0: absorbing, rejecting.
+  D.Raw.push_back(DeadRaw);
+  D.Accept.push_back(0);
+  D.Next.emplace_back(std::vector<uint32_t>(NumLocal, 0));
+
+  int64_t InitRaw;
+  if (A.Kind == ConstraintKind::Stride)
+    InitRaw = ((A.K % A.Mod + A.Mod) % A.Mod) * A.Mod + 1 % A.Mod;
+  else
+    InitRaw = A.Kind == ConstraintKind::Eq ? -A.K : A.K;
+  D.Initial = Intern(InitRaw);
+
+  for (uint32_t Id = 1; Id < D.Raw.size(); ++Id) {
+    if (D.Raw.size() > Limits.MaxDfaStates)
+      return unsupported("constraint DFA exceeds " +
+                         std::to_string(Limits.MaxDfaStates) + " states");
+    std::vector<uint32_t> Row(NumLocal);
+    for (unsigned L = 0; L < NumLocal; ++L)
+      Row[L] = Intern(stepRaw(A, D.Raw[Id], SumOf[L]));
+    D.Next[Id] = std::move(Row);
+  }
+  return D;
+}
+
+/// Evaluates the formula's boolean structure over per-atom accept bits.
+bool evalOverBits(const Formula &F,
+                  const std::map<Constraint, size_t> &AtomIndex,
+                  const std::vector<char> &Bits) {
+  switch (F.kind()) {
+  case FormulaKind::True:
+    return true;
+  case FormulaKind::False:
+    return false;
+  case FormulaKind::Atom:
+    return Bits[AtomIndex.at(F.constraint())] != 0;
+  case FormulaKind::And:
+    for (const Formula &C : F.children())
+      if (!evalOverBits(C, AtomIndex, Bits))
+        return false;
+    return true;
+  case FormulaKind::Or:
+    for (const Formula &C : F.children())
+      if (evalOverBits(C, AtomIndex, Bits))
+        return true;
+    return false;
+  case FormulaKind::Not:
+    return !evalOverBits(F.children()[0], AtomIndex, Bits);
+  case FormulaKind::Exists:
+  case FormulaKind::Forall:
+    break;
+  }
+  fatalError("evalOverBits: quantifier survived the applicability check");
+}
+
+/// Collects distinct atoms of a quantifier-free formula; returns false on
+/// a quantifier (the caller eliminates them before calling in).
+bool collectAtoms(const Formula &F, std::map<Constraint, size_t> &AtomIndex) {
+  switch (F.kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    return true;
+  case FormulaKind::Atom:
+    AtomIndex.try_emplace(F.constraint(), AtomIndex.size());
+    return true;
+  case FormulaKind::And:
+  case FormulaKind::Or:
+  case FormulaKind::Not:
+    for (const Formula &C : F.children())
+      if (!collectAtoms(C, AtomIndex))
+        return false;
+    return true;
+  case FormulaKind::Exists:
+  case FormulaKind::Forall:
+    return false;
+  }
+  fatalError("collectAtoms: unknown formula kind");
+}
+
+/// Checks an int64-destined magnitude against the safety cap.
+bool tooWide(const BigInt &V, const AutomatonLimits &Limits) {
+  return !V.fitsInt64() || V.bitWidth() > Limits.MaxMagnitudeBits;
+}
+
+} // namespace
+
+Result<BigInt> omega::automatonCount(const Formula &F, const VarBox &Box,
+                                     AutomatonRunStats *Stats,
+                                     const AutomatonLimits &Limits) {
+  AutomatonRunStats Local;
+  AutomatonRunStats &RS = Stats ? *Stats : Local;
+
+  unsigned NumTracks = static_cast<unsigned>(Box.size());
+  if (NumTracks > Limits.MaxVars)
+    return unsupported(std::to_string(NumTracks) + " variables exceed the " +
+                       std::to_string(Limits.MaxVars) + "-track cap");
+
+  std::map<std::string, unsigned> TrackOf;
+  std::vector<int64_t> Range; // Hi - Lo per track
+  unsigned W = 0;
+  for (const auto &[Name, B] : Box) {
+    check(B.Lo <= B.Hi, "automatonCount: inverted box bounds");
+    BigInt R = BigInt(B.Hi) - BigInt(B.Lo);
+    if (tooWide(R, Limits) || tooWide(BigInt(B.Lo), Limits))
+      return unsupported("box side for " + Name + " too wide");
+    TrackOf.emplace(Name, unsigned(TrackOf.size()));
+    Range.push_back(R.toInt64());
+    W = std::max(W, static_cast<unsigned>(
+                        std::bit_width(uint64_t(Range.back()))));
+  }
+
+  std::map<Constraint, size_t> AtomIndex;
+  if (!collectAtoms(F, AtomIndex))
+    return unsupported("quantified formula (eliminate quantifiers first)");
+
+  // Lower formula atoms onto the shifted tracks.
+  std::vector<AtomSpec> Atoms(AtomIndex.size());
+  for (const auto &[C, Idx] : AtomIndex) {
+    AtomSpec A;
+    A.Kind = C.kind();
+    bool Negate = C.kind() == ConstraintKind::Ge; // Ge consumes Σ(-aᵢ)bᵢ.
+    BigInt K = C.expr().constant();
+    for (const auto &[Name, Coeff] : C.expr().terms()) {
+      auto It = TrackOf.find(Name);
+      if (It == TrackOf.end())
+        return unsupported("variable " + Name + " missing from the box");
+      if (tooWide(Coeff, Limits))
+        return unsupported("coefficient of " + Name + " too wide");
+      K += Coeff * BigInt(Box.at(Name).Lo);
+      int64_t Ci = Coeff.toInt64();
+      A.Terms.emplace_back(It->second, Negate ? -Ci : Ci);
+    }
+    if (tooWide(K, Limits))
+      return unsupported("shifted constant too wide");
+    A.K = K.toInt64();
+    if (C.isStride()) {
+      if (!C.modulus().fitsInt64() ||
+          C.modulus().toInt64() > Limits.MaxStrideModulus)
+        return unsupported("stride modulus too large");
+      A.Mod = C.modulus().toInt64();
+    }
+    Atoms[Idx] = std::move(A);
+  }
+
+  // Synthetic range atoms v' ≤ Hi - Lo (the only path-pruning atoms; the
+  // lower bound v' ≥ 0 is implicit in the non-negative encoding).
+  size_t NumFormulaAtoms = Atoms.size();
+  for (const auto &[Name, Track] : TrackOf) {
+    AtomSpec A;
+    A.Kind = ConstraintKind::Ge;
+    A.Terms.emplace_back(Track, int64_t(1)); // Σ(-aᵢ) with a = -1
+    A.K = Range[Track];
+    A.Required = true;
+    Atoms.push_back(std::move(A));
+  }
+
+  std::vector<Dfa> Dfas;
+  Dfas.reserve(Atoms.size());
+  for (const AtomSpec &A : Atoms) {
+    Result<Dfa> D = buildDfa(A, NumTracks, Limits);
+    if (!D)
+      return D.error();
+    RS.DfaStates += D->Raw.size();
+    Dfas.push_back(std::move(*D));
+  }
+
+  // Product DP over W steps.  A state is the tuple of per-atom DFA states;
+  // the ordered map keeps iteration deterministic.
+  using ProductState = std::vector<uint32_t>;
+  std::map<ProductState, BigInt> Cur;
+  ProductState Init(Dfas.size());
+  for (size_t I = 0; I < Dfas.size(); ++I)
+    Init[I] = Dfas[I].Initial;
+  Cur.emplace(std::move(Init), BigInt(1));
+
+  size_t NumLetters = size_t(1) << NumTracks;
+  for (unsigned Step = 0; Step < W; ++Step) {
+    std::map<ProductState, BigInt> Nxt;
+    for (const auto &[State, Count] : Cur) {
+      for (size_t G = 0; G < NumLetters; ++G) {
+        ProductState NS(Dfas.size());
+        bool Pruned = false;
+        for (size_t I = 0; I < Dfas.size(); ++I) {
+          NS[I] = Dfas[I].Next[State[I]][Dfas[I].LocalOf[G]];
+          if (Atoms[I].Required && NS[I] == 0) {
+            Pruned = true; // outside the box: no point grows from here
+            break;
+          }
+        }
+        if (Pruned)
+          continue;
+        ++RS.Transitions;
+        Nxt[std::move(NS)] += Count;
+      }
+    }
+    if (Nxt.size() > Limits.MaxProductStates)
+      return unsupported("product exceeds " +
+                         std::to_string(Limits.MaxProductStates) +
+                         " states at step " + std::to_string(Step));
+    RS.ProductStates += Nxt.size();
+    Cur = std::move(Nxt);
+  }
+
+  BigInt Total(0);
+  std::vector<char> Bits(NumFormulaAtoms);
+  for (const auto &[State, Count] : Cur) {
+    bool InBox = true;
+    for (size_t I = NumFormulaAtoms; I < Dfas.size(); ++I)
+      if (!Dfas[I].Accept[State[I]]) {
+        InBox = false;
+        break;
+      }
+    if (!InBox)
+      continue;
+    for (size_t I = 0; I < NumFormulaAtoms; ++I)
+      Bits[I] = Dfas[I].Accept[State[I]];
+    if (evalOverBits(F, AtomIndex, Bits))
+      Total += Count;
+  }
+  return Total;
+}

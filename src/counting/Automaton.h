@@ -1,0 +1,86 @@
+//===- counting/Automaton.h - Constraint-automaton counting ----*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counting by finite automata over binary encodings: each affine
+/// constraint becomes a DFA reading the variables' bits LSB-first (one bit
+/// per variable per step), the constraint automata are intersected
+/// on the fly, and the number of accepting paths of the product — one path
+/// per solution in the bounding box — is computed by dynamic programming.
+/// The technique is the classical Presburger-automata construction used by
+/// barvinok's count_solutions and the Omega library's DFA backend; it
+/// shares no code with the §4 splinter-summation pipeline, which makes it
+/// the differential cross-check backend (DESIGN.md §14).
+///
+/// Scope: quantifier-free formulas over variables with known finite bounds.
+/// Quantifier elimination and bound derivation happen in the caller
+/// (counting/Backend.cpp); this module is pure automaton machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_COUNTING_AUTOMATON_H
+#define OMEGA_COUNTING_AUTOMATON_H
+
+#include "presburger/Formula.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace omega {
+
+/// Inclusive integer bounds of one variable.
+struct VarBounds {
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+};
+
+/// A bounding box: inclusive bounds per counted variable (deterministically
+/// ordered by name, which fixes the automaton's track order).
+using VarBox = std::map<std::string, VarBounds>;
+
+/// What one automaton run did, for pipeline-stats attribution.
+struct AutomatonRunStats {
+  uint64_t DfaStates = 0;     ///< States across all per-constraint DFAs.
+  uint64_t ProductStates = 0; ///< Distinct product states the DP explored.
+  uint64_t Transitions = 0;   ///< Live product transitions taken.
+};
+
+/// Refusal thresholds.  The automaton backend is exact-or-refuses: rather
+/// than degrade, a query outside these caps comes back as a typed
+/// Unsupported error and the dispatcher falls back to the total backend.
+struct AutomatonLimits {
+  /// Cap on distinct product states alive at any DP step.
+  uint64_t MaxProductStates = uint64_t(1) << 20;
+  /// Cap on states of a single constraint DFA.
+  uint64_t MaxDfaStates = uint64_t(1) << 16;
+  /// Cap on variables (the alphabet is one bit per variable per step).
+  unsigned MaxVars = 12;
+  /// Cap on |coefficient| and |shifted constant| bit widths, so all
+  /// per-step state arithmetic provably stays in int64.
+  unsigned MaxMagnitudeBits = 44;
+  /// Cap on stride moduli (stride DFA states are residue pairs mod m).
+  int64_t MaxStrideModulus = int64_t(1) << 20;
+};
+
+/// Counts the integer solutions of \p F over exactly the variables of
+/// \p Box, every solution lying inside the box (the caller certifies the
+/// box covers all solutions; points of the box violating F are excluded by
+/// the automata, so a loose box changes cost, never the count).
+///
+/// Requirements, checked and reported as Unsupported errors rather than
+/// miscounts: F is quantifier-free, and mentions only variables of Box.
+/// Formula structure is handled exactly — And/Or/Not combine per-atom
+/// acceptance, so overlapping disjuncts are not double-counted and
+/// negations need no DNF expansion.
+Result<BigInt> automatonCount(const Formula &F, const VarBox &Box,
+                              AutomatonRunStats *Stats = nullptr,
+                              const AutomatonLimits &Limits = {});
+
+} // namespace omega
+
+#endif // OMEGA_COUNTING_AUTOMATON_H

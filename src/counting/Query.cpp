@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "counting/Backend.h"
 #include "counting/Summation.h"
 
 #include "support/BigInt.h"
@@ -60,6 +61,11 @@ PipelineStatsSnapshot subtract(const PipelineStatsSnapshot &After,
   D.ParallelTasks -= Before.ParallelTasks;
   D.BudgetTrips -= Before.BudgetTrips;
   D.DegradedQueries -= Before.DegradedQueries;
+  D.AutomatonDfaStates -= Before.AutomatonDfaStates;
+  D.AutomatonProductStates -= Before.AutomatonProductStates;
+  D.AutomatonTransitions -= Before.AutomatonTransitions;
+  D.EnumeratedPoints -= Before.EnumeratedPoints;
+  D.BackendFallbacks -= Before.BackendFallbacks;
   D.BigIntSpills -= Before.BigIntSpills;
   D.BigIntFastOps -= Before.BigIntFastOps;
   D.BigIntSlowOps -= Before.BigIntSlowOps;
@@ -84,21 +90,10 @@ CountResult omega::sumPolynomial(const Formula &F, const VarSet &Vars,
     startTracing();
 
   try {
-    if (Opts.Budget.unlimited()) {
-      // No budget: the exact pipeline cannot trip, so run it directly.
-      PiecewiseValue V = sumOverFormula(F, Vars, X);
-      Out.Status =
-          V.isUnbounded() ? CountStatus::Unbounded : CountStatus::Exact;
-      Out.Value = std::move(V);
-    } else {
-      BudgetedCount B = sumOverFormulaBudgeted(F, Vars, X, Opts.Budget);
-      Out.Status = B.Status;
-      Out.Value = std::move(B.Value);
-      Out.Lower = std::move(B.Lower);
-      Out.Upper = std::move(B.Upper);
-      Out.TrippedLimit = std::move(B.TrippedLimit);
-      Out.Err = std::move(B.Err);
-    }
+    // Backend selection and the per-backend algorithms live in
+    // counting/Backend.cpp; the default (Pugh) reproduces the pre-PR-7
+    // pipeline bit for bit.
+    Out = dispatchCount(F, Vars, X, Opts);
   } catch (...) {
     // Stop the trace session before rethrowing so the process is not left
     // tracing forever (the knobs restore via ScopedKnobs).

@@ -185,10 +185,30 @@ std::vector<Conjunct> projectVarsImpl(const Conjunct &C, const VarSet &Vars,
 // other's knobs.
 //===----------------------------------------------------------------------===//
 
+/// Which counting algorithm answers a query (counting/Backend.h).  The
+/// three concrete backends share no counting code: Pugh is the paper's
+/// splinter-summation pipeline (symbolic, total), Automaton counts
+/// accepting paths of a product of per-constraint binary DFAs (concrete
+/// bounded sets), Enumerate sweeps a derived bounding box (concrete small
+/// sets).  Auto picks per query with a cheap heuristic and falls back to
+/// Pugh whenever the preferred backend refuses.
+enum class BackendKind {
+  Pugh,      ///< §4 splinter summation: symbolic, budgeted, total.
+  Automaton, ///< Constraint-DFA path counting: exact or refuses.
+  Enumerate, ///< Bounded brute-force sweep: exact or refuses.
+  Auto,      ///< Heuristic dispatch with Pugh fallback.
+};
+
+const char *backendKindName(BackendKind K);
+
 /// Per-query configuration.  Field defaults reproduce the process defaults,
 /// so CountOptions{} behaves exactly like the legacy zero-configuration
 /// call.
 struct CountOptions {
+  /// Counting backend (counting/Backend.h).  Pugh reproduces the pre-PR-7
+  /// behavior bit for bit; Automaton/Enumerate answer exactly or refuse
+  /// with a typed Error; Auto dispatches heuristically and never refuses.
+  BackendKind Backend = BackendKind::Pugh;
   /// Worker threads for disjunct fan-out; 0 and 1 both mean serial.
   /// Results are bit-identical at every worker count (DESIGN.md §8).
   unsigned Workers = 0;
@@ -226,6 +246,13 @@ struct [[nodiscard]] CountResult {
   std::string TrippedLimit;
   /// Valid when Status == Error.
   Error Err;
+  /// Name of the backend that produced the answer ("pugh", "automaton",
+  /// "enumerate"); set on every return from the unified entry points.
+  std::string Backend;
+  /// Why the dispatcher picked Backend — the Auto heuristic's one-line
+  /// rationale, or the refusal that forced a fallback.  Empty when the
+  /// caller requested the backend explicitly.
+  std::string BackendReason;
   /// Pipeline counter delta over this query (CollectStats).
   PipelineStatsSnapshot Stats{};
   /// The query's trace (CollectTrace); export with toChromeJson() /

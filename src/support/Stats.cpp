@@ -20,6 +20,11 @@ void PipelineCounters::reset() {
   ParallelTasks = 0;
   BudgetTrips = 0;
   DegradedQueries = 0;
+  AutomatonDfaStates = 0;
+  AutomatonProductStates = 0;
+  AutomatonTransitions = 0;
+  EnumeratedPoints = 0;
+  BackendFallbacks = 0;
   ArithCounters &A = arithCounters();
   A.Spills = 0;
   A.FastOps = 0;
@@ -49,6 +54,11 @@ PipelineStatsSnapshot omega::snapshotPipelineStats() {
   S.ParallelTasks = C.ParallelTasks.load();
   S.BudgetTrips = C.BudgetTrips.load();
   S.DegradedQueries = C.DegradedQueries.load();
+  S.AutomatonDfaStates = C.AutomatonDfaStates.load();
+  S.AutomatonProductStates = C.AutomatonProductStates.load();
+  S.AutomatonTransitions = C.AutomatonTransitions.load();
+  S.EnumeratedPoints = C.EnumeratedPoints.load();
+  S.BackendFallbacks = C.BackendFallbacks.load();
   ArithCounters &A = arithCounters();
   S.BigIntSpills = A.Spills.load();
   S.BigIntFastOps = A.FastOps.load();
@@ -81,6 +91,11 @@ std::string PipelineStatsSnapshot::toPretty() const {
      << " tasks)\n"
      << "  budget trips:        " << BudgetTrips << "\n"
      << "  degraded queries:    " << DegradedQueries << "\n"
+     << "  automaton dfa/product states: " << AutomatonDfaStates << "/"
+     << AutomatonProductStates << "\n"
+     << "  automaton transitions: " << AutomatonTransitions << "\n"
+     << "  enumerated points:   " << EnumeratedPoints << "\n"
+     << "  backend fallbacks:   " << BackendFallbacks << "\n"
      << "  bigint spills:       " << BigIntSpills << "\n"
      << "  bigint fast/slow ops: " << BigIntFastOps << "/" << BigIntSlowOps
      << "\n"
@@ -97,7 +112,7 @@ std::string PipelineStatsSnapshot::toJson() const {
   // dashboards can detect drift (tools/ci.sh asserts it).
   std::ostringstream OS;
   OS << "{"
-     << "\"schema\": 2, "
+     << "\"schema\": 3, "
      << "\"feasibility_tests\": " << FeasibilityTests << ", "
      << "\"projection_calls\": " << ProjectionCalls << ", "
      << "\"clauses_simplified\": " << ClausesSimplified << ", "
@@ -109,6 +124,11 @@ std::string PipelineStatsSnapshot::toJson() const {
      << "\"parallel_tasks\": " << ParallelTasks << ", "
      << "\"budget_trips\": " << BudgetTrips << ", "
      << "\"degraded_queries\": " << DegradedQueries << ", "
+     << "\"automaton_dfa_states\": " << AutomatonDfaStates << ", "
+     << "\"automaton_product_states\": " << AutomatonProductStates << ", "
+     << "\"automaton_transitions\": " << AutomatonTransitions << ", "
+     << "\"enumerated_points\": " << EnumeratedPoints << ", "
+     << "\"backend_fallbacks\": " << BackendFallbacks << ", "
      << "\"bigint_spills\": " << BigIntSpills << ", "
      << "\"bigint_fast_ops\": " << BigIntFastOps << ", "
      << "\"bigint_slow_ops\": " << BigIntSlowOps << ", "

@@ -52,6 +52,14 @@ struct PipelineCounters {
   // fell back to certified bounds instead of an exact answer.
   std::atomic<uint64_t> BudgetTrips{0};
   std::atomic<uint64_t> DegradedQueries{0};
+  // Backend dispatch (counting/Backend.h): work volume of the automaton
+  // and enumerate backends, and Auto dispatches that fell back to pugh
+  // after a refusal.
+  std::atomic<uint64_t> AutomatonDfaStates{0};
+  std::atomic<uint64_t> AutomatonProductStates{0};
+  std::atomic<uint64_t> AutomatonTransitions{0};
+  std::atomic<uint64_t> EnumeratedPoints{0};
+  std::atomic<uint64_t> BackendFallbacks{0};
   // The BigInt small-value optimization (DESIGN.md §10) keeps its own
   // counters in omega::arithCounters() so the header fast paths need not
   // see this file; snapshots and reset() fold them in here.
@@ -74,6 +82,8 @@ struct PipelineStatsSnapshot {
   uint64_t CacheHits, CacheMisses, CacheEvictions;
   uint64_t ParallelBatches, ParallelTasks;
   uint64_t BudgetTrips, DegradedQueries;
+  uint64_t AutomatonDfaStates, AutomatonProductStates, AutomatonTransitions,
+      EnumeratedPoints, BackendFallbacks;
   // Arithmetic layer: limb (heap) representations produced, and the
   // fast/slow per-op tallies (nonzero only under setArithOpCounting).
   uint64_t BigIntSpills, BigIntFastOps, BigIntSlowOps;

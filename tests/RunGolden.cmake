@@ -1,14 +1,17 @@
 # Golden-file comparator for omegacount output, run as a ctest:
 #
 #   cmake -DCMD=<omegacount> -DFILE=<x.presburger> -DGOLDEN=<x.golden>
-#         [-DREGENERATE=1] -P RunGolden.cmake
+#         [-DARGS=<extra;flags>] [-DREGENERATE=1] -P RunGolden.cmake
 #
-# Runs `omegacount --file FILE`, compares stdout byte-for-byte with GOLDEN,
-# and prints both on mismatch.  With -DREGENERATE=1 it rewrites the golden
-# instead (used after an intentional output change; see README).
+# Runs `omegacount --file FILE [ARGS...]`, compares stdout byte-for-byte
+# with GOLDEN, and prints both on mismatch.  ARGS is a CMake ;-list of
+# extra flags (e.g. "-DARGS=--backend=automaton"); only stdout is
+# compared, so flags that add stderr reporting (--stats) stay
+# deterministic.  With -DREGENERATE=1 it rewrites the golden instead
+# (used after an intentional output change; see README).
 
 execute_process(
-  COMMAND "${CMD}" --file "${FILE}"
+  COMMAND "${CMD}" --file "${FILE}" ${ARGS}
   OUTPUT_VARIABLE Actual
   ERROR_VARIABLE ErrOut
   RESULT_VARIABLE Status)

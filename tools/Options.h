@@ -17,6 +17,7 @@
 #ifndef OMEGA_TOOLS_OPTIONS_H
 #define OMEGA_TOOLS_OPTIONS_H
 
+#include "counting/Backend.h"
 #include "omega/Omega.h"
 #include "support/BigInt.h"
 #include "support/ThreadPool.h"
@@ -34,6 +35,9 @@ struct ToolOptions {
   CountOptions Count;
   /// --budget was given (Count.Budget may still be all-unlimited).
   bool HaveBudget = false;
+  /// --backend was given: route the query through the unified CountResult
+  /// API and report which backend answered.
+  bool HaveBackend = false;
   /// --stats: print the pipeline counter summary to stderr on exit.
   bool Stats = false;
   /// --trace FILE: write Chrome trace_event JSON here.
@@ -54,6 +58,10 @@ inline const char *sharedOptionsHelp() {
          "  --budget SPEC    effort budget, e.g. "
          "\"bits=64,splinters=32,clauses=256,depth=24,ms=5000\";\n"
          "                   on exhaustion degrades to certified bounds\n"
+         "  --backend B      counting backend: pugh | automaton | "
+         "enumerate | auto\n"
+         "                   (automaton/enumerate answer exactly or refuse; "
+         "auto falls back to pugh)\n"
          "  --stats          print pipeline statistics to stderr\n"
          "  --trace FILE     write a Chrome trace_event JSON of the run "
          "(chrome://tracing)\n"
@@ -92,8 +100,18 @@ parseSharedOption(int Argc, char **Argv, int &I, ToolOptions &Opts,
     Opts.Count.Budget = *B;
     Opts.HaveBudget = true;
   };
+  auto SetBackend = [&](const std::string &Name) {
+    if (!backendKindFromName(Name, Opts.Count.Backend))
+      Fail("unknown backend: " + Name +
+           " (expected pugh, automaton, enumerate, or auto)");
+    Opts.HaveBackend = true;
+  };
   if (Arg == "--workers") {
     Opts.Count.Workers = static_cast<unsigned>(NextCount());
+  } else if (Arg == "--backend") {
+    SetBackend(Next());
+  } else if (Arg.rfind("--backend=", 0) == 0) {
+    SetBackend(Arg.substr(10));
   } else if (Arg == "--cache") {
     Opts.Count.CacheCapacity = static_cast<size_t>(NextCount());
     Opts.Count.CacheEnabled = Opts.Count.CacheCapacity > 0;

@@ -24,8 +24,28 @@ run_matrix() {
   echo "=== test: $dir"
   ctest --test-dir "$dir" --output-on-failure -j
   abort_free_leg "$dir"
+  differential_leg "$dir"
   bench_leg "$dir"
   trace_leg "$dir"
+}
+
+# Differential leg: the cross-backend fuzz harness (DESIGN.md §14) run
+# explicitly in every configuration — so the automaton and enumerate
+# backends face the sanitizers too — with its skip accounting printed.
+# 600 generated formulas; any count disagreement, silent skip, or
+# non-refusal error fails the binary.
+differential_leg() {
+  dir=$1
+  echo "=== differential: $dir"
+  log="$dir/cross-backend.log"
+  if ! "$dir/tests/fuzz_differential_test" --gtest_filter='*CrossBackend*' \
+      >"$log" 2>&1; then
+    cat "$log" >&2
+    echo "differential: cross-backend harness failed" >&2
+    exit 1
+  fi
+  grep "cross-backend" "$log"
+  echo "=== differential: $dir clean"
 }
 
 # Bench leg: quick runs of the two benchmark gates.  Both binaries enforce
@@ -43,27 +63,36 @@ bench_leg() {
     | grep -q "bench_arith: ok"
   "$dir/bench/bench_pipeline" --quick --out "$dir/BENCH_pipeline.json" \
     | grep -q "bench_pipeline: ok"
+  "$dir/bench/bench_backend" --quick --out "$dir/BENCH_backend.json" \
+    2>&1 | grep -q "bench_backend: ok"
   if command -v python3 >/dev/null 2>&1; then
     strict=0
     case $dir in *-default) strict=1 ;; esac
     python3 - "$dir/BENCH_arith.json" "$dir/BENCH_pipeline.json" \
-        "$strict" <<'PYEOF'
+        "$strict" "$dir/BENCH_backend.json" <<'PYEOF'
 import json, sys
 arith = json.load(open(sys.argv[1]))
 pipe = json.load(open(sys.argv[2]))
 strict = sys.argv[3] == "1"
+backend = json.load(open(sys.argv[4]))
 assert arith["checks_passed"], "bench_arith self-checks failed"
 assert arith["small_allocations_total"] == 0, "small path allocated"
 assert arith["small_spills_total"] == 0, "small path spilled"
 assert all(s["checksum_ok"] for s in arith["sections"])
-assert pipe["schema"] == 2, "bench_pipeline JSON schema drifted"
+assert pipe["schema"] == 3, "bench_pipeline JSON schema drifted"
 assert pipe["answers_identical"], "bench_pipeline answers diverged"
 assert len(pipe["configs"]) == 5
-assert all(c["stats"]["schema"] == 2 for c in pipe["configs"])
+assert all(c["stats"]["schema"] == 3 for c in pipe["configs"])
+assert backend["schema"] == 3, "bench_backend JSON schema drifted"
+assert backend["answers_identical"], "bench_backend counts diverged"
+assert len(backend["cases"]) >= 5, "dense-finite corpus shrank"
 if strict:
     assert arith["speedup_geomean"] >= 5.0, \
         f"fast path only {arith['speedup_geomean']:.2f}x vs spilled (want >= 5x)"
-print("bench json: ok (geomean x%.1f)" % arith["speedup_geomean"])
+    assert backend["speedup"] >= 2.0, \
+        f"automaton only {backend['speedup']:.2f}x vs pugh (want >= 2x)"
+print("bench json: ok (arith x%.1f, automaton x%.1f)"
+      % (arith["speedup_geomean"], backend["speedup"]))
 PYEOF
   else
     echo "bench json: python3 unavailable, JSON checks skipped"

@@ -214,6 +214,41 @@ int runTool(int Argc, char **Argv) {
     return RC;
   };
 
+  if (TO.HaveBackend && !SimplifyOnly) {
+    // Explicit --backend: route through the unified CountResult API and
+    // report which backend answered (and why, under --backend=auto).
+    if (Vars.empty())
+      fail("--vars required for counting");
+    VarSet VS(Vars.begin(), Vars.end());
+    const char *What = SumText.empty() ? "count" : "sum";
+    CountResult R = SumText.empty()
+                        ? countSolutions(F, VS, TO.Count)
+                        : sumPolynomial(F, VS, parseSummand(SumText),
+                                        TO.Count);
+    if (R.Status == CountStatus::Error)
+      fail(R.Err.toString());
+    std::cout << "backend: " << R.Backend;
+    if (!R.BackendReason.empty())
+      std::cout << " (" << R.BackendReason << ")";
+    std::cout << "\n";
+    if (R.Status == CountStatus::Bounded) {
+      std::cout << What << ": UNKNOWN (budget exhausted: " << R.TrippedLimit
+                << ")\n";
+      std::cout << "lower bound:\n  " << R.Lower << "\n";
+      std::cout << "upper bound:\n  " << R.Upper << "\n";
+    } else {
+      std::cout << What << ":\n  " << R.Value << "\n";
+      if (!R.Value.isUnbounded())
+        for (const Assignment &At : Ats) {
+          std::cout << "at";
+          for (const auto &[Name, Value] : At)
+            std::cout << " " << Name << "=" << Value;
+          std::cout << ": " << R.Value.evaluate(At).toString() << "\n";
+        }
+    }
+    return Finish();
+  }
+
   if (TO.HaveBudget && !Budget.unlimited()) {
     // Budgeted path: no separate DNF print (the exact simplification is
     // itself subject to the budget inside the budgeted summation).
