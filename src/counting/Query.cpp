@@ -59,6 +59,9 @@ PipelineStatsSnapshot subtract(const PipelineStatsSnapshot &After,
   D.CacheEvictions -= Before.CacheEvictions;
   D.ParallelBatches -= Before.ParallelBatches;
   D.ParallelTasks -= Before.ParallelTasks;
+  D.CoalescePairs -= Before.CoalescePairs;
+  D.CoalescePrefiltered -= Before.CoalescePrefiltered;
+  D.CoalesceMerges -= Before.CoalesceMerges;
   D.BudgetTrips -= Before.BudgetTrips;
   D.DegradedQueries -= Before.DegradedQueries;
   D.AutomatonDfaStates -= Before.AutomatonDfaStates;

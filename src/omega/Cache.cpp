@@ -90,6 +90,12 @@ std::string projectionKey(const CanonicalConjunct &Canon, const VarSet &Vars,
 
 bool omega::feasible(const Conjunct &C) {
   pipelineStats().FeasibilityTests += 1;
+  // The unconstrained clause is Z^n: feasible with no Projector run and no
+  // cache traffic.  Negation-driven callers (coalescing, gist) produce a
+  // steady trickle of these, and canonicalizing an empty clause just to
+  // hit the cache costs more than answering it.
+  if (C.constraints().empty())
+    return true;
   if (!cacheEnabled())
     return detail::feasibleImpl(C);
 

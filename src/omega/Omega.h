@@ -85,6 +85,11 @@ void removeRedundant(Conjunct &C, bool Aggressive = false);
 /// clauses may share variables by name; wildcard-free inputs required.
 bool implies(const Conjunct &P, const Conjunct &Q);
 
+/// Single-constraint implication: true iff every integer point of \p P
+/// satisfies \p K — exactly implies(P, {K}) without building the
+/// one-constraint clause.  The inner loop of clause coalescing.
+bool impliesConstraint(const Conjunct &P, const Constraint &K);
+
 /// The gist operator (§2.3): a minimal subset G of P's constraints with
 /// G ∧ Q ≡ P ∧ Q.
 Conjunct gist(const Conjunct &P, const Conjunct &Q);

@@ -36,9 +36,39 @@ std::vector<Constraint> negateConstraint(const Constraint &K) {
   fatalError("negateConstraint: unknown constraint kind");
 }
 
+/// Cheap sound infeasibility proof for Ctx ∧ B, used to skip full
+/// feasibility tests: the conjunction is infeasible whenever a Ge/Eq
+/// constraint of Ctx pairs with Ge B so their left-hand sides cancel to a
+/// negative constant (e + c1 >= 0 and -e + c2 >= 0 force c1 + c2 >= 0).
+/// The argument is pointwise, so wildcards in Ctx do not matter.  This is
+/// the dominant shape in redundancy and coalescing work — the negation of
+/// an implied bound almost always contradicts the parallel bound that
+/// implies it — and each hit saves one Omega call.
+bool contradictsSyntactically(const Conjunct &Ctx, const Constraint &B) {
+  if (!B.isGe())
+    return false;
+  for (const Constraint &K : Ctx.constraints()) {
+    if (K.kind() == ConstraintKind::Stride)
+      continue;
+    AffineExpr Sum = K.expr() + B.expr();
+    if (Sum.isConstant() && Sum.constant().sign() < 0)
+      return true;
+    if (K.kind() == ConstraintKind::Eq) {
+      // e = 0 also supplies -e >= 0; B - e constant-negative is the same
+      // cancellation against that direction.
+      AffineExpr Diff = B.expr() - K.expr();
+      if (Diff.isConstant() && Diff.constant().sign() < 0)
+        return true;
+    }
+  }
+  return false;
+}
+
 /// True iff Ctx ∧ ¬K is infeasible, i.e. Ctx implies K.
 bool contextImplies(const Conjunct &Ctx, const Constraint &K) {
   for (const Constraint &Branch : negateConstraint(K)) {
+    if (contradictsSyntactically(Ctx, Branch))
+      continue; // Provably infeasible with zero Omega calls.
     Conjunct Test = Ctx;
     Test.add(Branch);
     if (feasible(Test))
@@ -109,6 +139,11 @@ bool omega::implies(const Conjunct &P, const Conjunct &Q) {
     if (!contextImplies(P, K))
       return false;
   return true;
+}
+
+bool omega::impliesConstraint(const Conjunct &P, const Constraint &K) {
+  check(P.wildcards().empty(), "implies requires wildcard-free clauses");
+  return contextImplies(P, K);
 }
 
 Conjunct omega::gist(const Conjunct &P, const Conjunct &Q) {

@@ -18,9 +18,12 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <optional>
-#include <thread>
+#include <set>
+#include <unordered_map>
+#include <utility>
 
 using namespace omega;
 
@@ -205,22 +208,55 @@ std::vector<Conjunct> toDNF(const Formula &F, ShadowMode Mode) {
   fatalError("toDNF: unknown formula kind");
 }
 
-/// Removes clauses subsumed by another clause (step 1 of §5.3).
+/// Effective support of a clause: variables whose value can change the
+/// truth of some constraint.  For Ge/Eq any nonzero coefficient counts;
+/// for a stride m | e a coefficient divisible by m is inert (changing that
+/// variable moves e by a multiple of m).  Computed from the raw constraint
+/// list, so it is sound for unnormalized input too.
+VarSet effectiveSupport(const Conjunct &C) {
+  VarSet Out;
+  for (const Constraint &K : C.constraints())
+    for (const auto &[V, Coeff] : K.expr().terms()) {
+      if (K.isStride() && BigInt::floorMod(Coeff, K.modulus()).isZero())
+        continue;
+      Out.insert(V);
+    }
+  return Out;
+}
+
+/// A ⊆ B over sorted variable sets.
+bool supportSubset(const VarSet &A, const VarSet &B) {
+  return std::includes(B.begin(), B.end(), A.begin(), A.end());
+}
+
+/// Removes clauses subsumed by another clause (step 1 of §5.3).  Callers
+/// run this after pruneInfeasible, so every clause is feasible — which
+/// licenses the support prefilter: a feasible clause I is invariant along
+/// any variable outside its effective support, so I ⊆ J is impossible
+/// unless effsupp(J) ⊆ effsupp(I) (J would have to exclude some shift of
+/// a point of I along a variable I cannot see).
 void removeSubsumed(std::vector<Conjunct> &Clauses) {
+  std::vector<VarSet> Supp;
+  Supp.reserve(Clauses.size());
+  for (const Conjunct &C : Clauses)
+    Supp.push_back(effectiveSupport(C));
   for (size_t I = 0; I < Clauses.size();) {
     bool Subsumed = false;
     for (size_t J = 0; J < Clauses.size() && !Subsumed; ++J) {
-      if (I == J)
+      if (I == J || !supportSubset(Supp[J], Supp[I]))
         continue;
       if (implies(Clauses[I], Clauses[J])) {
-        // Tie-break identical clauses: drop the later one.
-        if (!(implies(Clauses[J], Clauses[I]) && J > I))
+        // Tie-break identical clauses: drop the later one.  The reverse
+        // implication needs no probes unless the supports allow it.
+        if (!(supportSubset(Supp[I], Supp[J]) &&
+              implies(Clauses[J], Clauses[I]) && J > I))
           Subsumed = true;
       }
     }
-    if (Subsumed)
+    if (Subsumed) {
       Clauses.erase(Clauses.begin() + I);
-    else
+      Supp.erase(Supp.begin() + I);
+    } else
       ++I;
   }
 }
@@ -256,17 +292,78 @@ bool isArticulation(const std::vector<size_t> &Nodes,
 std::vector<Conjunct> makeDisjointComponent(std::vector<Conjunct> Clauses);
 std::vector<Conjunct> makeDisjointImpl(std::vector<Conjunct> Clauses);
 
+/// Per-variable bounds harvested syntactically from single-variable
+/// inequalities and equalities.  The box over-approximates the clause
+/// (couplings and strides are ignored), so two clauses whose boxes are
+/// disjoint in any shared dimension provably share no integer point — an
+/// overlap edge answered with no feasible() call.
+using SyntacticBox =
+    std::map<std::string, std::pair<std::optional<BigInt>, std::optional<BigInt>>>;
+
+SyntacticBox syntacticBox(const Conjunct &C) {
+  SyntacticBox Box;
+  for (const Constraint &K : C.constraints()) {
+    if (K.isStride() || K.expr().numVars() != 1)
+      continue;
+    const auto &[V, A] = *K.expr().terms().begin();
+    const BigInt &Cst = K.expr().constant();
+    auto &[Lo, Hi] = Box[V];
+    // a*v + c >= 0 bounds v below when a > 0 (v >= ceil(-c/a)) and above
+    // when a < 0 (v <= floor(c/-a)); an equality contributes both sides.
+    auto ApplyGe = [&](const BigInt &Coeff, const BigInt &Konst) {
+      if (Coeff.isPositive()) {
+        BigInt Bound = BigInt::ceilDiv(-Konst, Coeff);
+        if (!Lo || Bound > *Lo)
+          Lo = std::move(Bound);
+      } else {
+        BigInt Bound = BigInt::floorDiv(Konst, -Coeff);
+        if (!Hi || Bound < *Hi)
+          Hi = std::move(Bound);
+      }
+    };
+    ApplyGe(A, Cst);
+    if (K.isEq())
+      ApplyGe(-A, -Cst);
+  }
+  return Box;
+}
+
+/// True iff the boxes cannot intersect: some variable bounded in both has
+/// non-overlapping ranges.  A sound "no shared point" proof, never a
+/// proof of overlap.
+bool boxesDisjoint(const SyntacticBox &A, const SyntacticBox &B) {
+  for (const auto &[V, RA] : A) {
+    auto It = B.find(V);
+    if (It == B.end())
+      continue;
+    const auto &RB = It->second;
+    if ((RA.second && RB.first && *RA.second < *RB.first) ||
+        (RB.second && RA.first && *RB.second < *RA.first))
+      return true;
+  }
+  return false;
+}
+
 /// Builds the symmetric clause-overlap graph (edge iff two clauses share an
-/// integer point).  Each row's pair tests run as one fan-out task; task I
-/// writes only row I, and the lower triangle is mirrored afterwards.
+/// integer point).  Pairs whose syntactic boxes are disjoint are rejected
+/// up front; the rest run the feasibility test.  Each row's pair tests run
+/// as one fan-out task; task I writes only row I, and the lower triangle
+/// is mirrored afterwards.
 std::vector<std::vector<bool>>
 overlapGraph(const std::vector<Conjunct> &Clauses) {
   size_t N = Clauses.size();
   std::vector<std::vector<bool>> Adj(N, std::vector<bool>(N, false));
+  std::vector<SyntacticBox> Boxes;
+  Boxes.reserve(N);
+  for (const Conjunct &C : Clauses)
+    Boxes.push_back(syntacticBox(C));
   forEachDisjunct(N, [&](size_t I) {
-    for (size_t J = I + 1; J < N; ++J)
+    for (size_t J = I + 1; J < N; ++J) {
+      if (boxesDisjoint(Boxes[I], Boxes[J]))
+        continue;
       if (feasible(Conjunct::merge(Clauses[I], Clauses[J])))
         Adj[I][J] = true;
+    }
   });
   for (size_t I = 0; I < N; ++I)
     for (size_t J = I + 1; J < N; ++J)
@@ -362,33 +459,61 @@ std::vector<Conjunct> omega::simplify(const Formula &F, SimplifyOptions Opts) {
   return D;
 }
 
-std::optional<Conjunct> omega::coalescePair(const Conjunct &A,
-                                            const Conjunct &B) {
-  if (!A.wildcards().empty() || !B.wildcards().empty())
-    return std::nullopt;
+namespace {
+
+/// True iff every variable of \p K is bound by \p Values and K fails
+/// there.  Unbound variables make the answer "unknown", reported as
+/// false (not a proven violation).
+bool violatesAt(const Constraint &K, const Assignment &Values) {
+  for (const auto &[V, Coeff] : K.expr().terms()) {
+    (void)Coeff;
+    if (!Values.count(V))
+      return false;
+  }
+  return !K.holds(Values);
+}
+
+/// Shared pair-merge core: candidate construction plus the union-equality
+/// check, with the per-clause disjoint negations hoisted to the caller
+/// and (optionally) a known sample point of each clause.  A sample of B
+/// refutes "B implies K" arithmetically whenever K fails at it, skipping
+/// the Omega probe; the answer is unchanged because the probe would have
+/// returned false (the sample is a point of B violating K).
+std::optional<Conjunct>
+coalescePairImpl(const Conjunct &A, const Conjunct &B,
+                 const std::vector<Conjunct> &NegA,
+                 const std::vector<Conjunct> &NegB, const Assignment *SA,
+                 const Assignment *SB) {
+  pipelineStats().CoalescePairs += 1;
   // Candidate: constraints of one side the other side also satisfies.  It
   // contains A ∨ B by construction; it equals the union iff it has no
-  // point outside both.
+  // point outside both.  Cross-side duplicates are dropped via an ordered
+  // constraint set (operator< is consistent with operator==) instead of a
+  // linear scan of the candidate per constraint.
   Conjunct Candidate;
+  std::set<Constraint> Present;
   for (const Constraint &K : A.constraints()) {
-    Conjunct Single;
-    Single.add(K);
-    if (implies(B, Single))
+    if (SB && violatesAt(K, *SB))
+      continue;
+    if (impliesConstraint(B, K)) {
+      Present.insert(K);
       Candidate.add(K);
+    }
   }
   for (const Constraint &K : B.constraints()) {
-    Conjunct Single;
-    Single.add(K);
-    if (implies(A, Single) &&
-        std::find(Candidate.constraints().begin(),
-                  Candidate.constraints().end(),
-                  K) == Candidate.constraints().end())
+    if (Present.count(K))
+      continue;
+    if (SA && violatesAt(K, *SA))
+      continue;
+    if (impliesConstraint(A, K)) {
+      Present.insert(K);
       Candidate.add(K);
+    }
   }
   // Candidate \ (A ∨ B) must be empty: for every branch pair of the two
   // negations, Candidate ∧ ¬A-branch ∧ ¬B-branch must be infeasible.
-  for (const Conjunct &NA : negateConjunct(A))
-    for (const Conjunct &NB : negateConjunct(B)) {
+  for (const Conjunct &NA : NegA)
+    for (const Conjunct &NB : NegB) {
       Conjunct Test = Candidate;
       Test.addAll(NA);
       Test.addAll(NB);
@@ -399,48 +524,311 @@ std::optional<Conjunct> omega::coalescePair(const Conjunct &A,
   return Candidate;
 }
 
+/// Tries to prove, by pure arithmetic, that coalescing \p A and \p B must
+/// fail.  U over-approximates every possible candidate's constraint list:
+/// a constraint enters the candidate only if the other clause implies it,
+/// which that clause's sample point refutes whenever the constraint fails
+/// there — so U (the constraints *not* refuted) is a superset, and
+/// region(U) ⊆ region(candidate).  Any point satisfying U but neither A
+/// nor B therefore witnesses candidate \ (A ∨ B) ≠ ∅, which is exactly
+/// the condition under which the full evaluation rejects the pair.  Trial
+/// points are a small battery built from the two samples:
+/// single-coordinate exchanges and the floored midpoint with ±1 nudges —
+/// the places a "gap" between two clauses shows up.
+bool witnessSeparates(const Conjunct &A, const Conjunct &B,
+                      const Assignment &SA, const Assignment &SB) {
+  std::vector<const Constraint *> U;
+  for (const Constraint &K : A.constraints())
+    if (!violatesAt(K, SB))
+      U.push_back(&K);
+  for (const Constraint &K : B.constraints())
+    if (!violatesAt(K, SA))
+      U.push_back(&K);
+
+  // Each sample binds its own clause's variables; extending each with the
+  // other's bindings makes every trial point evaluable against A, B and U.
+  Assignment BaseA = SA, BaseB = SB;
+  for (const auto &[V, Val] : SB)
+    BaseA.emplace(V, Val); // keeps SA's value where both bind
+  for (const auto &[V, Val] : SA)
+    BaseB.emplace(V, Val);
+
+  auto Separates = [&](const Assignment &P) {
+    for (const Constraint *K : U)
+      if (!K->holds(P))
+        return false;
+    return !A.contains(P) && !B.contains(P);
+  };
+
+  std::vector<Assignment> Trials;
+  // Single-coordinate exchanges, both directions.
+  for (const auto &[V, ValB] : SB) {
+    auto It = SA.find(V);
+    if (It == SA.end() || It->second == ValB)
+      continue;
+    Assignment P = BaseA;
+    P[V] = ValB;
+    Trials.push_back(std::move(P));
+    Assignment Q = BaseB;
+    Q[V] = It->second;
+    Trials.push_back(std::move(Q));
+  }
+  // The floored midpoint, plus single-coordinate ±1 nudges of it.
+  Assignment Mid = BaseA;
+  bool AnyDiff = false;
+  for (auto &[V, Val] : Mid) {
+    auto ItA = SA.find(V);
+    auto ItB = SB.find(V);
+    if (ItA != SA.end() && ItB != SB.end() && ItA->second != ItB->second) {
+      Val = BigInt::floorDiv(ItA->second + ItB->second, BigInt(2));
+      AnyDiff = true;
+    }
+  }
+  if (AnyDiff) {
+    for (const auto &[V, Val] : Mid) {
+      Assignment P = Mid;
+      P[V] = Val + BigInt(1);
+      Trials.push_back(std::move(P));
+      Assignment Q = Mid;
+      Q[V] = Val - BigInt(1);
+      Trials.push_back(std::move(Q));
+    }
+    Trials.push_back(std::move(Mid));
+  }
+
+  for (const Assignment &P : Trials)
+    if (Separates(P))
+      return true;
+  return false;
+}
+
+/// Per-clause state for the coalesce worklist: cheap syntactic facts
+/// eagerly, Omega-derived facts (sample point, disjoint negation) lazily
+/// and at most once per clause — the seed algorithm recomputed both
+/// negations inside every pair test.
+struct CoalesceClauseInfo {
+  bool HasWildcards = false;
+  VarSet Support;
+  bool SampleReady = false;
+  std::optional<Assignment> Sample;
+  bool NegReady = false;
+  std::vector<Conjunct> Negation;
+};
+
+/// The coalesce engine (DESIGN.md §15): an indexed incremental worklist
+/// that reproduces the seed algorithm's merge sequence exactly.  Every
+/// clause carries a stable id; evaluated pair outcomes are memoized by
+/// id-pair, so the restart-scan after a merge costs hash lookups instead
+/// of re-running pair tests, and only pairs involving the merged clause
+/// are ever evaluated afresh.  Pair evaluations are pure functions of the
+/// two clauses, so prefiltering, memoization and parallel batch order
+/// cannot change which merge the position-ordered scan applies first.
+class CoalesceWorklist {
+public:
+  explicit CoalesceWorklist(std::vector<Conjunct> &Clauses)
+      : Clauses(Clauses) {
+    Ids.reserve(Clauses.size());
+    for (const Conjunct &C : Clauses)
+      Ids.push_back(newInfo(C));
+    // Results are kept, so fanning out pays iff independent pair tests can
+    // genuinely run concurrently — not on a single-core host, where the
+    // PR 7 prepass ran the same work twice.
+    UseParallel = effectiveParallelWidth() >= 2 && !wildcardScopeActive() &&
+                  !ThreadPool::onWorkerThread();
+  }
+
+  void run() {
+    while (applyFirstMerge())
+      ;
+  }
+
+private:
+  std::vector<Conjunct> &Clauses;
+  std::vector<size_t> Ids; ///< Position -> stable clause id.
+  std::vector<CoalesceClauseInfo> Infos;        ///< Indexed by id.
+  std::unordered_map<uint64_t, std::optional<Conjunct>> Memo;
+  bool UseParallel = false;
+
+  size_t newInfo(const Conjunct &C) {
+    CoalesceClauseInfo Info;
+    Info.HasWildcards = !C.wildcards().empty();
+    if (!Info.HasWildcards)
+      Info.Support = effectiveSupport(C);
+    Infos.push_back(std::move(Info));
+    return Infos.size() - 1;
+  }
+
+  CoalesceClauseInfo &info(size_t Pos) { return Infos[Ids[Pos]]; }
+
+  uint64_t pairKey(size_t I, size_t J) const {
+    uint64_t A = Ids[I], B = Ids[J];
+    if (A > B)
+      std::swap(A, B);
+    return (A << 32) | B;
+  }
+
+  void ensureSample(size_t Pos) {
+    CoalesceClauseInfo &I = info(Pos);
+    if (!I.SampleReady) {
+      I.Sample = samplePoint(Clauses[Pos]);
+      I.SampleReady = true;
+    }
+  }
+
+  void ensureNegation(size_t Pos) {
+    CoalesceClauseInfo &I = info(Pos);
+    if (!I.NegReady) {
+      I.Negation = negateConjunct(Clauses[Pos]);
+      I.NegReady = true;
+    }
+  }
+
+  /// Clause-index prefilter: proves "no merge" with no per-pair Omega
+  /// call, or returns false when a full evaluation is needed.  Sound
+  /// shortcuts only — the full test would reach the same verdict.
+  bool prefilterRejects(size_t I, size_t J) {
+    const CoalesceClauseInfo &IA = info(I), &IB = info(J);
+    // coalescePair is defined on wildcard-free clauses only.
+    if (IA.HasWildcards || IB.HasWildcards)
+      return true;
+    ensureSample(I);
+    ensureSample(J);
+    const std::optional<Assignment> &SA = info(I).Sample;
+    const std::optional<Assignment> &SB = info(J).Sample;
+    // The shortcuts below assume both clauses are nonempty; without a
+    // sample (infeasible clause) fall through to the full test.
+    if (!SA || !SB)
+      return false;
+    // Incomparable effective supports: a successful merge would force
+    // each side to contain the other (each is invariant along a variable
+    // the other constrains), i.e. A = B — contradicting incomparability.
+    if (!supportSubset(IA.Support, IB.Support) &&
+        !supportSubset(IB.Support, IA.Support))
+      return true;
+    return witnessSeparates(Clauses[I], Clauses[J], *SA, *SB);
+  }
+
+  std::optional<Conjunct> evaluate(size_t I, size_t J) {
+    ensureNegation(I);
+    ensureNegation(J);
+    const CoalesceClauseInfo &IA = info(I), &IB = info(J);
+    return coalescePairImpl(Clauses[I], Clauses[J], IA.Negation, IB.Negation,
+                            IA.Sample ? &*IA.Sample : nullptr,
+                            IB.Sample ? &*IB.Sample : nullptr);
+  }
+
+  /// Computes and memoizes the outcome for the pair at positions (I, J).
+  void decide(size_t I, size_t J) {
+    if (prefilterRejects(I, J)) {
+      pipelineStats().CoalescePrefiltered += 1;
+      Memo.emplace(pairKey(I, J), std::nullopt);
+      return;
+    }
+    Memo.emplace(pairKey(I, J), evaluate(I, J));
+  }
+
+  /// Parallel mode: walk unknown pairs in scan order starting at
+  /// (I0, J0), decide prefilterable ones inline, and evaluate the next
+  /// chunk of surviving pairs as one pool batch whose results are all
+  /// kept.  Per-clause samples and negations are materialized serially
+  /// before the batch, so workers only read shared clause state and write
+  /// their own slot; each task runs under a private wildcard scope named
+  /// by the id pair (outside the deterministic namespace — nothing a pair
+  /// test mints escapes into its result) with trace spans re-parented to
+  /// the coalesce span.  Chunking bounds the waste when an early pair
+  /// merges: at most one chunk of evaluations beyond what the serial scan
+  /// would have run.
+  void decideChunkFrom(size_t I0, size_t J0) {
+    const size_t ChunkSize =
+        std::max<size_t>(4 * effectiveParallelWidth(), 8);
+    std::vector<std::pair<size_t, size_t>> Batch;
+    for (size_t I = I0; I < Clauses.size() && Batch.size() < ChunkSize; ++I)
+      for (size_t J = I == I0 ? J0 : I + 1;
+           J < Clauses.size() && Batch.size() < ChunkSize; ++J) {
+        if (Memo.count(pairKey(I, J)))
+          continue;
+        if (prefilterRejects(I, J)) {
+          pipelineStats().CoalescePrefiltered += 1;
+          Memo.emplace(pairKey(I, J), std::nullopt);
+          continue;
+        }
+        ensureNegation(I);
+        ensureNegation(J);
+        Batch.emplace_back(I, J);
+      }
+    if (Batch.empty())
+      return;
+    if (Batch.size() == 1) {
+      Memo.emplace(pairKey(Batch[0].first, Batch[0].second),
+                   evaluate(Batch[0].first, Batch[0].second));
+      return;
+    }
+    std::vector<std::optional<Conjunct>> Slots(Batch.size());
+    pipelineStats().ParallelBatches += 1;
+    pipelineStats().ParallelTasks += Batch.size();
+    const uint64_t TraceParent = currentTraceSpan();
+    ThreadPool::instance().run(Batch.size(), [&](size_t T) {
+      TraceTaskScope TraceScope(TraceParent);
+      auto [I, J] = Batch[T];
+      WildcardScope Scope("c" + std::to_string(Ids[I]) + "x" +
+                          std::to_string(Ids[J]));
+      const CoalesceClauseInfo &IA = Infos[Ids[I]], &IB = Infos[Ids[J]];
+      Slots[T] = coalescePairImpl(Clauses[I], Clauses[J], IA.Negation,
+                                  IB.Negation,
+                                  IA.Sample ? &*IA.Sample : nullptr,
+                                  IB.Sample ? &*IB.Sample : nullptr);
+    });
+    for (size_t T = 0; T < Batch.size(); ++T)
+      Memo.emplace(pairKey(Batch[T].first, Batch[T].second),
+                   std::move(Slots[T]));
+  }
+
+  /// One step of the seed algorithm: find the first mergeable pair in
+  /// position order and apply it.  Returns false when no pair merges.
+  bool applyFirstMerge() {
+    for (size_t I = 0; I < Clauses.size(); ++I)
+      for (size_t J = I + 1; J < Clauses.size(); ++J) {
+        auto It = Memo.find(pairKey(I, J));
+        if (It == Memo.end()) {
+          if (UseParallel)
+            decideChunkFrom(I, J);
+          else
+            decide(I, J);
+          It = Memo.find(pairKey(I, J));
+        }
+        if (!It->second)
+          continue;
+        // First mergeable pair in scan order — identical to the seed
+        // algorithm's restart-scan choice, because pair outcomes are pure
+        // and skipped pairs are skipped only on a memoized "no merge".
+        Clauses[I] = std::move(*It->second);
+        Clauses.erase(Clauses.begin() + J);
+        Ids[I] = newInfo(Clauses[I]);
+        Ids.erase(Ids.begin() + J);
+        pipelineStats().CoalesceMerges += 1;
+        return true;
+      }
+    return false;
+  }
+};
+
+} // namespace
+
+std::optional<Conjunct> omega::coalescePair(const Conjunct &A,
+                                            const Conjunct &B) {
+  if (!A.wildcards().empty() || !B.wildcards().empty())
+    return std::nullopt;
+  return coalescePairImpl(A, B, negateConjunct(A), negateConjunct(B),
+                          /*SA=*/nullptr, /*SB=*/nullptr);
+}
+
 void omega::coalesceClauses(std::vector<Conjunct> &Clauses) {
   PhaseTimer Timer(pipelineStats().CoalesceNanos);
-  // With workers and the cache available, evaluate every initial pair in
-  // parallel first and discard the results: coalescePair routes all of its
-  // reasoning through the memoized feasible()/implies(), so the serial
-  // scan below replays against a warm cache.  The prepass only populates
-  // the cache (whose values are pure functions of their keys), so the
-  // result is identical with and without it — a scheduling optimization
-  // only.  It deliberately does NOT go through forEachDisjunct: that would
-  // consume a deterministic batch prefix only when workers are enabled,
-  // shifting every later wildcard name.  Instead each row runs under a
-  // private "warm" scope, outside the deterministic namespace, which is
-  // safe because nothing here escapes into results.  On a single hardware
-  // core the prepass is the same work run twice, so it is skipped — again
-  // without affecting results.
-  if (workerCount() >= 2 && std::thread::hardware_concurrency() >= 2 &&
-      conjunctCacheCapacity() > 0 && Clauses.size() > 2 &&
-      !wildcardScopeActive() && !ThreadPool::onWorkerThread()) {
-    size_t N = Clauses.size();
-    pipelineStats().ParallelBatches += 1;
-    pipelineStats().ParallelTasks += N;
-    const uint64_t TraceParent = currentTraceSpan();
-    ThreadPool::instance().run(N, [&](size_t I) {
-      TraceTaskScope TraceScope(TraceParent);
-      WildcardScope Scope("warm" + std::to_string(I));
-      for (size_t J = I + 1; J < N; ++J)
-        (void)coalescePair(Clauses[I], Clauses[J]);
-    });
-  }
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (size_t I = 0; I < Clauses.size() && !Changed; ++I)
-      for (size_t J = I + 1; J < Clauses.size() && !Changed; ++J) {
-        std::optional<Conjunct> M = coalescePair(Clauses[I], Clauses[J]);
-        if (!M)
-          continue;
-        Clauses[I] = std::move(*M);
-        Clauses.erase(Clauses.begin() + J);
-        Changed = true;
-      }
-  }
+  TraceSpan Span("coalesce");
+  Span.count(TraceCounter::ClausesIn, Clauses.size());
+  if (Clauses.size() >= 2)
+    CoalesceWorklist(Clauses).run();
+  Span.count(TraceCounter::ClausesOut, Clauses.size());
 }
 
 bool omega::pairwiseDisjoint(const std::vector<Conjunct> &Clauses) {
@@ -485,12 +873,15 @@ std::vector<Conjunct> makeDisjointComponent(std::vector<Conjunct> Clauses) {
   // disjoint negation.
   Conjunct Reduced;
   {
-    // gist C1 given (C2 ∨ ... ∨ Cq) = ∧ gist(C1 given Cj), deduped.
+    // gist C1 given (C2 ∨ ... ∨ Cq) = ∧ gist(C1 given Cj), deduped via an
+    // ordered set (operator< is consistent with operator==) while keeping
+    // first-seen order.
     std::vector<Constraint> Acc;
+    std::set<Constraint> Seen;
     for (const Conjunct &Cj : Clauses) {
       Conjunct G = gist(C1, Cj);
       for (const Constraint &K : G.constraints())
-        if (std::find(Acc.begin(), Acc.end(), K) == Acc.end())
+        if (Seen.insert(K).second)
           Acc.push_back(K);
     }
     for (Constraint &K : Acc)

@@ -18,6 +18,9 @@ void PipelineCounters::reset() {
   CacheEvictions = 0;
   ParallelBatches = 0;
   ParallelTasks = 0;
+  CoalescePairs = 0;
+  CoalescePrefiltered = 0;
+  CoalesceMerges = 0;
   BudgetTrips = 0;
   DegradedQueries = 0;
   AutomatonDfaStates = 0;
@@ -52,6 +55,9 @@ PipelineStatsSnapshot omega::snapshotPipelineStats() {
   S.CacheEvictions = C.CacheEvictions.load();
   S.ParallelBatches = C.ParallelBatches.load();
   S.ParallelTasks = C.ParallelTasks.load();
+  S.CoalescePairs = C.CoalescePairs.load();
+  S.CoalescePrefiltered = C.CoalescePrefiltered.load();
+  S.CoalesceMerges = C.CoalesceMerges.load();
   S.BudgetTrips = C.BudgetTrips.load();
   S.DegradedQueries = C.DegradedQueries.load();
   S.AutomatonDfaStates = C.AutomatonDfaStates.load();
@@ -89,6 +95,9 @@ std::string PipelineStatsSnapshot::toPretty() const {
      << "  cache evictions:     " << CacheEvictions << "\n"
      << "  parallel batches:    " << ParallelBatches << " (" << ParallelTasks
      << " tasks)\n"
+     << "  coalesce pairs:      " << CoalescePairs << " ("
+     << CoalescePrefiltered << " prefiltered, " << CoalesceMerges
+     << " merged)\n"
      << "  budget trips:        " << BudgetTrips << "\n"
      << "  degraded queries:    " << DegradedQueries << "\n"
      << "  automaton dfa/product states: " << AutomatonDfaStates << "/"
@@ -111,8 +120,12 @@ std::string PipelineStatsSnapshot::toJson() const {
   // declaration order.  Bump the schema number on any key change so CI and
   // dashboards can detect drift (tools/ci.sh asserts it).
   std::ostringstream OS;
+  // Schema 4 (was 3): adds coalesce_pairs / coalesce_prefiltered /
+  // coalesce_merges after parallel_tasks, and parallel_tasks now counts
+  // pair evaluations whose results are kept — the PR 7 coalesce prepass
+  // reported one task per clause row while discarding every result.
   OS << "{"
-     << "\"schema\": 3, "
+     << "\"schema\": 4, "
      << "\"feasibility_tests\": " << FeasibilityTests << ", "
      << "\"projection_calls\": " << ProjectionCalls << ", "
      << "\"clauses_simplified\": " << ClausesSimplified << ", "
@@ -122,6 +135,9 @@ std::string PipelineStatsSnapshot::toJson() const {
      << "\"cache_evictions\": " << CacheEvictions << ", "
      << "\"parallel_batches\": " << ParallelBatches << ", "
      << "\"parallel_tasks\": " << ParallelTasks << ", "
+     << "\"coalesce_pairs\": " << CoalescePairs << ", "
+     << "\"coalesce_prefiltered\": " << CoalescePrefiltered << ", "
+     << "\"coalesce_merges\": " << CoalesceMerges << ", "
      << "\"budget_trips\": " << BudgetTrips << ", "
      << "\"degraded_queries\": " << DegradedQueries << ", "
      << "\"automaton_dfa_states\": " << AutomatonDfaStates << ", "

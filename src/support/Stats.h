@@ -48,6 +48,13 @@ struct PipelineCounters {
   // Fan-out.
   std::atomic<uint64_t> ParallelBatches{0};
   std::atomic<uint64_t> ParallelTasks{0};
+  // Clause coalescing (omega/Simplify.cpp).  Pairs counts full
+  // (Omega-backed) pair evaluations; Prefiltered counts candidate pairs
+  // the clause index rejected with no feasible()/implies() call at all;
+  // Merges counts pair merges actually applied to a clause list.
+  std::atomic<uint64_t> CoalescePairs{0};
+  std::atomic<uint64_t> CoalescePrefiltered{0};
+  std::atomic<uint64_t> CoalesceMerges{0};
   // Budgets (support/Budget.h): limits tripped, and whole queries that
   // fell back to certified bounds instead of an exact answer.
   std::atomic<uint64_t> BudgetTrips{0};
@@ -81,6 +88,7 @@ struct PipelineStatsSnapshot {
       SplintersGenerated;
   uint64_t CacheHits, CacheMisses, CacheEvictions;
   uint64_t ParallelBatches, ParallelTasks;
+  uint64_t CoalescePairs, CoalescePrefiltered, CoalesceMerges;
   uint64_t BudgetTrips, DegradedQueries;
   uint64_t AutomatonDfaStates, AutomatonProductStates, AutomatonTransitions,
       EnumeratedPoints, BackendFallbacks;

@@ -12,13 +12,14 @@
 
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <thread>
 
 #ifdef OMEGA_PARALLEL
 #include "support/ThreadAnnotations.h"
 
 #include <exception>
-#include <thread>
 #include <utility>
 #include <vector>
 #endif
@@ -33,6 +34,17 @@ thread_local bool IsWorkerThread = false;
 void omega::setWorkerCount(unsigned N) { Workers.store(N); }
 
 unsigned omega::workerCount() { return Workers.load(); }
+
+unsigned omega::effectiveParallelWidth() {
+#ifdef OMEGA_PARALLEL
+  // hardware_concurrency() may report 0 when unknown; treat that as 1 so
+  // the conservative (serial) gate wins.
+  unsigned Cores = std::max(1u, std::thread::hardware_concurrency());
+  return std::min(workerCount(), Cores);
+#else
+  return 1;
+#endif
+}
 
 bool ThreadPool::onWorkerThread() { return IsWorkerThread; }
 

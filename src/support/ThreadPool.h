@@ -41,6 +41,14 @@ void setWorkerCount(unsigned N);
 /// The current worker-count knob (not the number of live threads).
 unsigned workerCount();
 
+/// The fan-out width that can actually run concurrently:
+/// min(workerCount(), hardware concurrency), and 1 when the pool is
+/// compiled out.  Phases that fan out for *throughput* (rather than for
+/// deterministic scoping) should gate on this being >= 2, so a 4-worker
+/// pool on a single-core host does not pay scheduling overhead for
+/// time-sliced pseudo-parallelism.
+unsigned effectiveParallelWidth();
+
 /// The fixed-size worker pool (one per process, lazily started).
 class ThreadPool {
 public:

@@ -307,11 +307,11 @@ std::string TraceData::toSummary() const {
       A.Counters[I] += R.Counters[I];
   }
   // Every instrumented phase appears even with zero spans, so consumers
-  // (the ci.sh trace leg greps for all eight) can tell "phase never ran"
+  // (the ci.sh trace leg greps for all nine) can tell "phase never ran"
   // from "phase missing from the format".
-  static const char *Phases[] = {"simplify",     "toDNF",    "crossConjoin",
-                                 "projectVars",  "splinter", "makeDisjoint",
-                                 "summation",    "snfReparam"};
+  static const char *Phases[] = {"simplify",  "toDNF",      "crossConjoin",
+                                 "projectVars", "splinter", "makeDisjoint",
+                                 "coalesce",  "summation",  "snfReparam"};
   for (const char *P : Phases)
     ByName.emplace(P, Agg{});
 

@@ -7,9 +7,9 @@
 // produce a single JSON value that a strict parser accepts.
 //
 // The driver formula conjoins the paper's Figure 1 set (projection with
-// splinters) with a disjunction, so one query exercises all eight traced
+// splinters) with a disjunction, so one query exercises all nine traced
 // phases: simplify, toDNF, crossConjoin, projectVars, splinter,
-// makeDisjoint, summation, snfReparam.
+// makeDisjoint, coalesce, summation, snfReparam.
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,9 +40,9 @@ const char *AllPhasesFormula = "exists(b: 0 <= 3*b - a <= 7 && "
                                "1 <= a - 2*b <= 5) && "
                                "(0 <= a <= 30 || 2 | a)";
 
-const char *PhaseNames[] = {"simplify",     "toDNF",     "crossConjoin",
-                            "projectVars",  "splinter",  "makeDisjoint",
-                            "summation",    "snfReparam"};
+const char *PhaseNames[] = {"simplify",  "toDNF",      "crossConjoin",
+                            "projectVars", "splinter", "makeDisjoint",
+                            "coalesce",  "summation",  "snfReparam"};
 
 /// Counts AllPhasesFormula once under tracing at the given worker count,
 /// from a fully reset state, and returns the collected spans.  The cache
@@ -249,7 +249,7 @@ TEST(Trace, DisabledIsInert) {
   EXPECT_EQ(currentTraceSpan(), 0u);
 }
 
-TEST(Trace, AllEightPhasesHaveSpans) {
+TEST(Trace, AllTracedPhasesHaveSpans) {
   std::shared_ptr<const TraceData> Data = traceOneCount(/*Workers=*/0);
   ASSERT_TRUE(Data);
   EXPECT_EQ(Data->Dropped, 0u);
@@ -314,7 +314,7 @@ TEST(Trace, SummaryListsEveryPhaseEvenWithoutSpans) {
   std::string Summary = Data->toSummary();
   for (const char *Phase : PhaseNames)
     EXPECT_NE(Summary.find(Phase), std::string::npos)
-        << "summary dropped phase " << Phase << " (CI greps for all eight)";
+        << "summary dropped phase " << Phase << " (CI greps for all nine)";
 }
 
 TEST(Trace, CountersAttributedToPhases) {

@@ -69,7 +69,8 @@ bench_leg() {
     strict=0
     case $dir in *-default) strict=1 ;; esac
     python3 - "$dir/BENCH_arith.json" "$dir/BENCH_pipeline.json" \
-        "$strict" "$dir/BENCH_backend.json" <<'PYEOF'
+        "$strict" "$dir/BENCH_backend.json" "$root/BENCH_pipeline.json" \
+        <<'PYEOF'
 import json, sys
 arith = json.load(open(sys.argv[1]))
 pipe = json.load(open(sys.argv[2]))
@@ -79,10 +80,47 @@ assert arith["checks_passed"], "bench_arith self-checks failed"
 assert arith["small_allocations_total"] == 0, "small path allocated"
 assert arith["small_spills_total"] == 0, "small path spilled"
 assert all(s["checksum_ok"] for s in arith["sections"])
-assert pipe["schema"] == 3, "bench_pipeline JSON schema drifted"
+assert pipe["schema"] == 4, "bench_pipeline JSON schema drifted"
 assert pipe["answers_identical"], "bench_pipeline answers diverged"
 assert len(pipe["configs"]) == 5
-assert all(c["stats"]["schema"] == 3 for c in pipe["configs"])
+assert all(c["stats"]["schema"] == 4 for c in pipe["configs"])
+# Coalesce gates (quick run, deterministic counters): the indexed worklist
+# must beat the committed pre-index baseline by the ISSUE's bars on the
+# full-scale bench; on the quick bench the counters are deterministic, so
+# assert the pair-pruning outcome directly: most candidate pairs must die
+# in the prefilter, never reaching an Omega feasibility call.
+serial = next(c["stats"] for c in pipe["configs"]
+              if c["name"] == "serial-nocache")
+pairs = serial["coalesce_pairs"] + serial["coalesce_prefiltered"]
+assert pairs > 0, "coalesce saw no candidate pairs"
+assert serial["coalesce_prefiltered"] >= serial["coalesce_pairs"], \
+    f"prefilter rejected {serial['coalesce_prefiltered']}/{pairs} pairs " \
+    "(want a majority; the clause index is not pruning)"
+# speedup_workers is either a real >=4-core measurement or an explicit
+# null + reason; a number from a narrower host is the bug PR 8 fixed.
+if pipe["hardware_concurrency"] >= 4:
+    assert isinstance(pipe["speedup_workers"], (int, float)), \
+        "speedup_workers missing on a >=4-core host"
+else:
+    assert pipe["speedup_workers"] is None, \
+        "speedup_workers reported from a <4-core host"
+    assert "< 4" in pipe["speedup_workers_skip_reason"]
+# The committed full-scale BENCH_pipeline.json must clear the ISSUE's
+# bars against the pre-index baseline recorded inside it: >= 3x less
+# coalesce wall time, >= 5x fewer feasibility tests, identical answers.
+full = json.load(open(sys.argv[5]))
+assert full["schema"] == 4 and full["answers_identical"]
+base = full["baseline"]
+fserial = next(c["stats"] for c in full["configs"]
+               if c["name"] == "serial-nocache")
+feas_ratio = base["feasibility_tests"] / fserial["feasibility_tests"]
+assert feas_ratio >= 5.0, \
+    f"committed bench: only {feas_ratio:.1f}x fewer feasibility tests " \
+    "than the pre-index baseline (want >= 5x)"
+ms_ratio = base["coalesce_ms"] / fserial["coalesce_ms"]
+assert ms_ratio >= 3.0, \
+    f"committed bench: coalesce {fserial['coalesce_ms']:.1f}ms vs baseline " \
+    f"{base['coalesce_ms']:.1f}ms, only {ms_ratio:.1f}x (want >= 3x)"
 assert backend["schema"] == 3, "bench_backend JSON schema drifted"
 assert backend["answers_identical"], "bench_backend counts diverged"
 assert len(backend["cases"]) >= 5, "dense-finite corpus shrank"
@@ -145,7 +183,7 @@ abort_free_leg() {
 
 # Trace leg (default configuration only): every example formula run with
 # --trace must emit Chrome JSON that python3 json.load()s with resolvable
-# parent links, the text summary must list all eight pipeline phases, and
+# parent links, the text summary must list all nine pipeline phases, and
 # the *disabled*-tracing pipeline must stay within 1% of the committed
 # BENCH_pipeline.json baseline — the instrumentation's one-branch cost
 # model (DESIGN.md §12).  Wall clock is noisy even best-of-reps, so the
@@ -170,7 +208,7 @@ trace_leg() {
     done
   done
   for phase in simplify toDNF crossConjoin projectVars splinter \
-               makeDisjoint summation snfReparam; do
+               makeDisjoint coalesce summation snfReparam; do
     if ! grep -q "$phase" "$out/figure1-w0.summary.txt"; then
       echo "trace: phase $phase missing from summary" >&2
       exit 1
