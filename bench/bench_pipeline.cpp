@@ -225,12 +225,12 @@ int main(int Argc, char **Argv) {
   unsigned Cores = std::thread::hardware_concurrency();
   bool EmitWorkerSpeedup = Cores >= 4;
 
-  // Schema 4 (was 3): per-config stats gained the coalesce counters,
-  // speedup_workers may be null with speedup_workers_skip_reason, and the
-  // fixed "baseline" block carries the last pre-coalesce-index numbers so
-  // CI can assert the speedup ratios against a committed reference.
+  // Schema 5 (was 4): per-config stats gained the expr_terms_inline /
+  // expr_terms_spilled counters of the flat-term AffineExpr.  (Schema 4
+  // added the coalesce counters, nullable speedup_workers with a skip
+  // reason, and the fixed "baseline" block CI gates ratios against.)
   std::ostringstream JS;
-  JS << "{\"schema\":4,\"bench\":\"pipeline\",\"scale\":" << Scale
+  JS << "{\"schema\":5,\"bench\":\"pipeline\",\"scale\":" << Scale
      << ",\"reps\":" << Reps << ",\"workers\":" << Workers
      << ",\"hardware_concurrency\":" << Cores << ",\"configs\":[";
   for (size_t I = 0; I < Results.size(); ++I) {

@@ -69,10 +69,10 @@ bool Validator::hasErrors() const {
 //===----------------------------------------------------------------------===//
 
 void Validator::checkAffine(const AffineExpr &E, const std::string &Loc) {
-  for (const auto &[Name, Coef] : E.terms())
+  for (const auto &[V, Coef] : E.terms())
     if (Coef.isZero())
       report(Severity::Error, IRLayer::Affine, "zero-coefficient-term",
-             "variable '" + Name + "' stored with zero coefficient in '" +
+             "variable '" + varName(V) + "' stored with zero coefficient in '" +
                  E.toString() + "'",
              Loc);
 }

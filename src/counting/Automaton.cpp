@@ -264,7 +264,8 @@ Result<BigInt> omega::automatonCount(const Formula &F, const VarBox &Box,
     A.Kind = C.kind();
     bool Negate = C.kind() == ConstraintKind::Ge; // Ge consumes Σ(-aᵢ)bᵢ.
     BigInt K = C.expr().constant();
-    for (const auto &[Name, Coeff] : C.expr().terms()) {
+    for (const auto &[V, Coeff] : C.expr().terms()) {
+      const std::string &Name = varName(V);
       auto It = TrackOf.find(Name);
       if (It == TrackOf.end())
         return unsupported("variable " + Name + " missing from the box");

@@ -438,7 +438,7 @@ private:
     Span.count(TraceCounter::ConstraintsIn, C.constraints().size());
     // Strides touching counted variables become wildcard equalities.
     Conjunct WithEqs;
-    for (const std::string &W : C.wildcards())
+    for (VarId W : C.wildcards().ids())
       WithEqs.addWildcard(W);
     for (const Constraint &K : C.constraints()) {
       bool TouchesVars = false;
@@ -448,7 +448,7 @@ private:
           TouchesVars = true;
       }
       if (K.isStride() && TouchesVars) {
-        std::string W = freshWildcard();
+        VarId W = freshWildcardId();
         AffineExpr E = K.expr();
         E.setCoeff(W, -K.modulus());
         WithEqs.add(Constraint::eq(std::move(E)));
@@ -459,15 +459,16 @@ private:
     }
     C = std::move(WithEqs);
 
-    // Column variables: every counted variable or wildcard mentioned.
-    std::vector<std::string> Cols;
+    // Column variables: every counted variable or wildcard mentioned, in
+    // name order (the column order reaches the Smith decomposition).
+    std::vector<VarId> Cols;
     {
       VarSet Mentioned = C.mentionedVars();
-      for (const std::string &V : Mentioned)
-        if (Vars.count(V) || C.isWildcard(V))
-          Cols.push_back(V);
+      for (auto It = Mentioned.begin(); It != Mentioned.end(); ++It)
+        if (Vars.count(It.id()) || C.isWildcard(It.id()))
+          Cols.push_back(It.id());
     }
-    auto ColIdx = [&](const std::string &N) {
+    auto ColIdx = [&](VarId N) {
       auto It = std::find(Cols.begin(), Cols.end(), N);
       return It == Cols.end() ? SIZE_MAX : size_t(It - Cols.begin());
     };
@@ -528,9 +529,9 @@ private:
     }
 
     // Free components get fresh counted variables.
-    std::vector<std::string> Sigma;
+    std::vector<VarId> Sigma;
     for (unsigned J = Rank; J < NumCols; ++J)
-      Sigma.push_back(freshWildcard());
+      Sigma.push_back(freshWildcardId());
 
     // Each column variable: x_k = Σ_j V[k][j] sigma'_j, expressed as
     // (integer affine over sigma and symbols) / Den.
@@ -585,10 +586,11 @@ private:
     for (unsigned K = 0; K < NumCols; ++K) {
       if (!Vars.count(Cols[K]))
         continue;
-      if (!X.mentions(Cols[K]))
+      const std::string &ColName = varName(Cols[K]);
+      if (!X.mentions(ColName))
         continue;
       QuasiPolynomial Val = QuasiPolynomial::fromAffine(ColNum[K]) * InvDen;
-      X.substitute(Cols[K], Val);
+      X.substitute(ColName, Val);
     }
 
     VarSet NewVars(Sigma.begin(), Sigma.end());

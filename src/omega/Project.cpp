@@ -56,12 +56,12 @@ struct BoundSet {
 };
 
 /// Collects the bounds that the Ge constraints of \p C place on \p V.
-BoundSet collectBounds(const Conjunct &C, const std::string &V) {
+BoundSet collectBounds(const Conjunct &C, VarId V) {
   BoundSet B;
   for (const Constraint &K : C.constraints()) {
     if (!K.isGe())
       continue;
-    BigInt A = K.expr().coeff(V);
+    const BigInt &A = K.expr().coeff(V);
     if (A.isZero())
       continue;
     AffineExpr Rest = K.expr();
@@ -104,7 +104,8 @@ public:
     } Guard{Depth};
     chargeDepth(Depth, "projection");
     // Wildcards are existential by definition; fold them into the targets.
-    for (const std::string &W : C.takeWildcards())
+    const VarSet Wilds = C.takeWildcards();
+    for (VarId W : Wilds.ids())
       Targets.insert(W);
 
     while (true) {
@@ -128,7 +129,7 @@ public:
         continue;
 
       // All remaining target occurrences are in Ge constraints.
-      std::string V = pickFourierVar(C, Targets);
+      VarId V = pickFourierVar(C, Targets);
       if (!fourierEliminate(std::move(C), V, std::move(Targets)))
         return; // Recursion emitted the results.
       fatalError("Projector: fourierEliminate must take over");
@@ -140,24 +141,26 @@ private:
   /// and returns true.
   bool eliminateOneEquality(Conjunct &C, VarSet &Targets) {
     size_t BestIdx = 0;
-    std::string BestVar;
+    VarId BestVar;
     BigInt BestAbs;
     bool Found = false;
     const std::vector<Constraint> &Ks = C.constraints();
     for (size_t I = 0; I < Ks.size(); ++I) {
       if (!Ks[I].isEq())
         continue;
-      for (const auto &[Name, Coef] : Ks[I].expr().terms()) {
-        if (!Targets.count(Name))
-          continue;
+      // Name order, not storage order: the first-seen tie-break among
+      // equal |coefficients| is observable through the elimination choice.
+      Ks[I].expr().forEachTermByName([&](VarId V, const BigInt &Coef) {
+        if (!Targets.count(V))
+          return;
         BigInt A = Coef.abs();
         if (!Found || A < BestAbs) {
           Found = true;
-          BestAbs = A;
+          BestAbs = std::move(A);
           BestIdx = I;
-          BestVar = Name;
+          BestVar = V;
         }
-      }
+      });
     }
     if (!Found)
       return false;
@@ -236,7 +239,7 @@ private:
       }
       if (!HasTarget)
         continue;
-      std::string W = freshWildcard();
+      VarId W = freshWildcardId();
       AffineExpr E = K.expr();
       E.setCoeff(W, -K.modulus());
       C.constraints()[I] = Constraint::eq(std::move(E));
@@ -249,11 +252,15 @@ private:
   /// Chooses the next variable for Fourier elimination: prefer one whose
   /// every (lower, upper) pair is exact (unit coefficient on either side),
   /// then fewest pair products (the paper's §4.4 heuristic).
-  std::string pickFourierVar(const Conjunct &C, const VarSet &Targets) {
-    std::string Best;
+  VarId pickFourierVar(const Conjunct &C, const VarSet &Targets) {
+    VarId Best;
+    bool Found = false;
     bool BestExact = false;
     size_t BestCost = 0;
-    for (const std::string &V : Targets) {
+    // Candidates scan in name order: ties on (Exact, Cost) keep the
+    // name-least variable, as with the former string set.
+    for (auto It = Targets.begin(); It != Targets.end(); ++It) {
+      VarId V = It.id();
       BoundSet B = collectBounds(C, V);
       bool Exact = true;
       for (const Bound &L : B.Lowers)
@@ -262,20 +269,21 @@ private:
             Exact = false;
       size_t Cost = std::max<size_t>(1, B.Lowers.size()) *
                     std::max<size_t>(1, B.Uppers.size());
-      if (Best.empty() || (Exact && !BestExact) ||
+      if (!Found || (Exact && !BestExact) ||
           (Exact == BestExact && Cost < BestCost)) {
+        Found = true;
         Best = V;
         BestExact = Exact;
         BestCost = Cost;
       }
     }
-    check(!Best.empty(), "no Fourier candidate among targets");
+    check(Found, "no Fourier candidate among targets");
     return Best;
   }
 
   /// Eliminates \p V from \p C by Fourier-Motzkin (recursing for
   /// splinters).  Always takes over emission; returns false.
-  bool fourierEliminate(Conjunct C, const std::string &V, VarSet Targets) {
+  bool fourierEliminate(Conjunct C, VarId V, VarSet Targets) {
     BoundSet B = collectBounds(C, V);
 
     // One-sided: for any values of the other variables we can push v far
@@ -323,8 +331,8 @@ private:
 
   /// Pugh's CACM-1992 exact elimination: dark shadow plus (possibly
   /// overlapping) splinters from each lower bound.
-  void overlappingSplinters(Conjunct C, const std::string &V,
-                            const BoundSet &B, VarSet Targets) {
+  void overlappingSplinters(Conjunct C, VarId V, const BoundSet &B,
+                            VarSet Targets) {
     Conjunct Dark;
     for (const Constraint &K : C.constraints())
       if (!K.mentions(V))
@@ -366,7 +374,7 @@ private:
 
   /// Figure 1 of the paper: disjoint splintering.  The dark shadow and all
   /// splinters are pairwise disjoint.
-  void disjointSplinters(Conjunct C, const std::string &V, const BoundSet &B,
+  void disjointSplinters(Conjunct C, VarId V, const BoundSet &B,
                          VarSet Targets) {
     // Parallel splintering: if some (lower, upper) pair pins c*v into a
     // window of syntactically constant width k with k < c*c' - 1, just
@@ -522,12 +530,12 @@ std::optional<Assignment> omega::samplePoint(const Conjunct &C) {
     VarSet Free = Cur.freeVars();
     if (Free.empty())
       return Point;
-    const std::string V = *Free.begin();
+    const VarId V = Free.begin().id(); // Name-least free variable.
     // Range of v with everything else projected away (real shadow gives a
     // sound superset interval; strides may force skipping within it).
     VarSet Others = Free;
     Others.erase(V);
-    for (const std::string &W : Cur.wildcards())
+    for (VarId W : Cur.wildcards().ids())
       Others.insert(W);
     std::vector<Conjunct> Shadow = projectVars(Cur, Others, ShadowMode::Real);
     check(Shadow.size() <= 1, "real shadow is a single clause");
@@ -537,7 +545,7 @@ std::optional<Assignment> omega::samplePoint(const Conjunct &C) {
       for (const Constraint &K : Shadow[0].constraints()) {
         if (K.isStride())
           continue;
-        BigInt A = K.expr().coeff(V);
+        const BigInt &A = K.expr().coeff(V);
         if (A.isZero())
           continue;
         AffineExpr Rest = K.expr();

@@ -298,7 +298,7 @@ std::vector<Conjunct> makeDisjointImpl(std::vector<Conjunct> Clauses);
 /// disjoint in any shared dimension provably share no integer point — an
 /// overlap edge answered with no feasible() call.
 using SyntacticBox =
-    std::map<std::string, std::pair<std::optional<BigInt>, std::optional<BigInt>>>;
+    std::map<VarId, std::pair<std::optional<BigInt>, std::optional<BigInt>>>;
 
 SyntacticBox syntacticBox(const Conjunct &C) {
   SyntacticBox Box;

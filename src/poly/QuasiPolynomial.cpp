@@ -70,8 +70,8 @@ QuasiPolynomial QuasiPolynomial::fromAtom(Atom A) {
 
 QuasiPolynomial QuasiPolynomial::fromAffine(const AffineExpr &E) {
   QuasiPolynomial P(Rational(E.constant()));
-  for (const auto &[Name, C] : E.terms())
-    P += variable(Name) * Rational(C);
+  for (const auto &[V, C] : E.terms())
+    P += variable(varName(V)) * Rational(C);
   return P;
 }
 

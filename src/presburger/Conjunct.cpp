@@ -4,6 +4,7 @@
 
 #include "support/Error.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -12,18 +13,16 @@ using namespace omega;
 void Conjunct::addAll(const Conjunct &Other) {
   for (const Constraint &C : Other.Items)
     Items.push_back(C);
-  for (const std::string &W : Other.Wildcards)
+  for (VarId W : Other.Wildcards.ids())
     Wildcards.insert(W);
 }
 
 void Conjunct::pruneUnusedWildcards() {
   VarSet Used = mentionedVars();
-  for (auto It = Wildcards.begin(); It != Wildcards.end();) {
-    if (!Used.count(*It))
-      It = Wildcards.erase(It);
-    else
-      ++It;
-  }
+  const std::vector<VarId> Ids = Wildcards.ids();
+  for (VarId W : Ids)
+    if (!Used.contains(W))
+      Wildcards.erase(W);
 }
 
 VarSet Conjunct::mentionedVars() const {
@@ -35,26 +34,37 @@ VarSet Conjunct::mentionedVars() const {
 
 VarSet Conjunct::freeVars() const {
   VarSet Out = mentionedVars();
-  for (const std::string &W : Wildcards)
+  for (VarId W : Wildcards.ids())
     Out.erase(W);
   return Out;
 }
 
-bool Conjunct::mentions(const std::string &Name) const {
+bool Conjunct::mentions(VarId V) const {
   for (const Constraint &C : Items)
-    if (C.mentions(Name))
+    if (C.mentions(V))
       return true;
   return false;
 }
 
-void Conjunct::substitute(const std::string &Name,
-                          const AffineExpr &Replacement) {
-  for (Constraint &C : Items)
-    C.substitute(Name, Replacement);
-  Wildcards.erase(Name);
+bool Conjunct::mentions(const std::string &Name) const {
+  VarId V = lookupVar(Name);
+  return V.valid() && mentions(V);
 }
 
-void Conjunct::renameVar(const std::string &From, const std::string &To) {
+void Conjunct::substitute(VarId V, const AffineExpr &Replacement) {
+  for (Constraint &C : Items)
+    C.substitute(V, Replacement);
+  Wildcards.erase(V);
+}
+
+void Conjunct::substitute(const std::string &Name,
+                          const AffineExpr &Replacement) {
+  VarId V = lookupVar(Name);
+  if (V.valid())
+    substitute(V, Replacement);
+}
+
+void Conjunct::renameVar(VarId From, VarId To) {
   check(From != To, "rename to same name");
   for (Constraint &C : Items)
     C.renameVar(From, To);
@@ -62,10 +72,19 @@ void Conjunct::renameVar(const std::string &From, const std::string &To) {
     Wildcards.insert(To);
 }
 
+void Conjunct::renameVar(const std::string &From, const std::string &To) {
+  VarId F = lookupVar(From);
+  if (!F.valid()) {
+    check(From != To, "rename to same name");
+    return;
+  }
+  renameVar(F, internVar(To));
+}
+
 void Conjunct::refreshWildcards() {
-  VarSet Old = Wildcards;
-  for (const std::string &W : Old)
-    renameVar(W, freshWildcard());
+  const std::vector<VarId> Old = Wildcards.ids();
+  for (VarId W : Old)
+    renameVar(W, freshWildcardId());
 }
 
 bool Conjunct::contains(const Assignment &Values) const {
@@ -94,7 +113,7 @@ void Conjunct::stridesToWildcards() {
       continue;
     }
     // c | e  ==>  ∃α: e - cα = 0.
-    std::string Alpha = freshWildcard();
+    VarId Alpha = freshWildcardId();
     AffineExpr E = C.expr();
     E.setCoeff(Alpha, -C.modulus());
     NewItems.push_back(Constraint::eq(std::move(E)));
@@ -149,23 +168,41 @@ CanonicalConjunct omega::canonicalConjunct(const Conjunct &In) {
   std::sort(Ks.begin(), Ks.end());
   Ks.erase(std::unique(Ks.begin(), Ks.end()), Ks.end());
 
-  std::ostringstream Key;
+  // The key sweeps the flat rows: kind, modulus, then (id, coefficient)
+  // pairs in storage (id) order plus the constant.  The constraint *order*
+  // above is the observable name-based sort; only the per-constraint
+  // rendering uses ids.
+  std::string Key;
+  Key.reserve(16 + Ks.size() * 24);
   for (Constraint &K : Ks) {
-    Key << static_cast<int>(K.kind()) << '|';
-    if (K.isStride())
-      Key << K.modulus() << '|';
-    Key << K.expr().toString() << '&';
+    Key += static_cast<char>('0' + static_cast<int>(K.kind()));
+    Key += '|';
+    if (K.isStride()) {
+      Key += K.modulus().toString();
+      Key += '|';
+    }
+    const AffineExpr &E = K.expr();
+    for (const auto &[V, C] : E.terms()) {
+      Key += std::to_string(V.raw());
+      Key += ':';
+      Key += C.toString();
+      Key += ' ';
+    }
+    Key += 'c';
+    Key += E.constant().toString();
+    Key += '&';
     Out.C.add(std::move(K));
   }
   // Only wildcards the canonical constraints still mention are part of the
   // clause's meaning (and of the key).
   VarSet Used = Out.C.mentionedVars();
-  Key << "W:";
-  for (const std::string &W : In.wildcards())
-    if (Used.count(W)) {
+  Key += "W:";
+  for (VarId W : In.wildcards().ids())
+    if (Used.contains(W)) {
       Out.C.addWildcard(W);
-      Key << W << ',';
+      Key += std::to_string(W.raw());
+      Key += ',';
     }
-  Out.Key = Key.str();
+  Out.Key = std::move(Key);
   return Out;
 }

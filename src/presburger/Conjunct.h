@@ -39,7 +39,12 @@ public:
   bool empty() const { return Items.empty(); }
 
   const VarSet &wildcards() const { return Wildcards; }
+  void addWildcard(VarId V) { Wildcards.insert(V); }
   void addWildcard(const std::string &Name) { Wildcards.insert(Name); }
+  /// Clause-wildcard membership.  Note this is a set test, not a VarId
+  /// role-bit test: projection declares user variables as clause wildcards
+  /// without renaming them.
+  bool isWildcard(VarId V) const { return Wildcards.contains(V); }
   bool isWildcard(const std::string &Name) const {
     return Wildcards.count(Name) != 0;
   }
@@ -59,14 +64,17 @@ public:
   /// Mentioned variables that are not wildcards.
   VarSet freeVars() const;
 
+  bool mentions(VarId V) const;
   bool mentions(const std::string &Name) const;
 
-  /// Substitutes Name := Replacement in every constraint.  If Name was a
+  /// Substitutes V := Replacement in every constraint.  If V was a
   /// wildcard it stops being one.  Any *new* variables introduced by
   /// Replacement are not quantified.
+  void substitute(VarId V, const AffineExpr &Replacement);
   void substitute(const std::string &Name, const AffineExpr &Replacement);
 
   /// Renames a variable (From must not be To; To must be fresh).
+  void renameVar(VarId From, VarId To);
   void renameVar(const std::string &From, const std::string &To);
 
   /// Gives every wildcard a globally fresh name (capture-free merging).
@@ -107,7 +115,10 @@ std::ostream &operator<<(std::ostream &OS, const Conjunct &C);
 /// reusing a memoized result (DESIGN.md §8).  Clauses that differ only in
 /// constraint order or in un-normalized coefficient scaling share a key;
 /// alpha-variants (same clause, different wildcard names) do not, which
-/// costs cache capacity but never correctness.
+/// costs cache capacity but never correctness.  The key encodes interned
+/// VarIds (bijective with names within a process), so building it sweeps
+/// the flat term rows without rendering names; keys are process-local,
+/// exactly like the cache they index.
 struct CanonicalConjunct {
   Conjunct C;      ///< The canonical form; semantically equal to the input.
   std::string Key; ///< Equal keys imply semantically equal clauses.

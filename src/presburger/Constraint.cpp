@@ -76,21 +76,22 @@ bool Constraint::normalize() {
     // Reduce coefficients and constant into [0, Mod).
     AffineExpr E;
     E.setConstant(BigInt::floorMod(Expr.constant(), Mod));
-    for (const auto &[Name, C] : Expr.terms())
-      E.setCoeff(Name, BigInt::floorMod(C, Mod));
+    for (const auto &[V, C] : Expr.terms())
+      E.setCoeff(V, BigInt::floorMod(C, Mod));
     Expr = std::move(E);
     if (Expr.isConstant())
       return Mod.divides(Expr.constant());
     // Canonicalize by a unit: when the leading coefficient is invertible
     // mod Mod, scale so it becomes 1 (m | 2x+2 with m=3 becomes m | x+1).
-    const BigInt &Lead = Expr.terms().begin()->second;
+    // "Leading" is the name-minimal term, as in the map representation.
+    const BigInt &Lead = Expr.leadTermByName().Coef;
     BigInt X, Y;
     if (BigInt::extendedGcd(Lead, Mod, X, Y).isOne()) {
       BigInt Inv = BigInt::floorMod(X, Mod);
       AffineExpr Scaled;
       Scaled.setConstant(BigInt::floorMod(Expr.constant() * Inv, Mod));
-      for (const auto &[Name, C] : Expr.terms())
-        Scaled.setCoeff(Name, BigInt::floorMod(C * Inv, Mod));
+      for (const auto &[V, C] : Expr.terms())
+        Scaled.setCoeff(V, BigInt::floorMod(C * Inv, Mod));
       Expr = std::move(Scaled);
     }
     return true;

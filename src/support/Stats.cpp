@@ -2,6 +2,7 @@
 
 #include "support/Stats.h"
 
+#include "presburger/AffineExpr.h"
 #include "support/BigInt.h"
 
 #include <sstream>
@@ -32,6 +33,9 @@ void PipelineCounters::reset() {
   A.Spills = 0;
   A.FastOps = 0;
   A.SlowOps = 0;
+  ExprCounters &E = exprCounters();
+  E.Spills = 0;
+  E.InlineOps = 0;
   SimplifyNanos = 0;
   DisjointNanos = 0;
   CoalesceNanos = 0;
@@ -69,6 +73,9 @@ PipelineStatsSnapshot omega::snapshotPipelineStats() {
   S.BigIntSpills = A.Spills.load();
   S.BigIntFastOps = A.FastOps.load();
   S.BigIntSlowOps = A.SlowOps.load();
+  ExprCounters &E = exprCounters();
+  S.ExprTermsInline = E.InlineOps.load();
+  S.ExprTermsSpilled = E.Spills.load();
   S.SimplifyNanos = C.SimplifyNanos.load();
   S.DisjointNanos = C.DisjointNanos.load();
   S.CoalesceNanos = C.CoalesceNanos.load();
@@ -108,6 +115,8 @@ std::string PipelineStatsSnapshot::toPretty() const {
      << "  bigint spills:       " << BigIntSpills << "\n"
      << "  bigint fast/slow ops: " << BigIntFastOps << "/" << BigIntSlowOps
      << "\n"
+     << "  expr inline ops:     " << ExprTermsInline << "\n"
+     << "  expr term spills:    " << ExprTermsSpilled << "\n"
      << "  simplify time:       " << ms(SimplifyNanos) << " ms\n"
      << "  disjoint time:       " << ms(DisjointNanos) << " ms\n"
      << "  coalesce time:       " << ms(CoalesceNanos) << " ms\n"
@@ -120,12 +129,11 @@ std::string PipelineStatsSnapshot::toJson() const {
   // declaration order.  Bump the schema number on any key change so CI and
   // dashboards can detect drift (tools/ci.sh asserts it).
   std::ostringstream OS;
-  // Schema 4 (was 3): adds coalesce_pairs / coalesce_prefiltered /
-  // coalesce_merges after parallel_tasks, and parallel_tasks now counts
-  // pair evaluations whose results are kept — the PR 7 coalesce prepass
-  // reported one task per clause row while discarding every result.
+  // Schema 5 (was 4): adds expr_terms_inline / expr_terms_spilled after
+  // bigint_slow_ops — the flat-term AffineExpr's inline-buffer mutation
+  // and heap-spill tallies.  (Schema 4 added the coalesce_* counters.)
   OS << "{"
-     << "\"schema\": 4, "
+     << "\"schema\": 5, "
      << "\"feasibility_tests\": " << FeasibilityTests << ", "
      << "\"projection_calls\": " << ProjectionCalls << ", "
      << "\"clauses_simplified\": " << ClausesSimplified << ", "
@@ -148,6 +156,8 @@ std::string PipelineStatsSnapshot::toJson() const {
      << "\"bigint_spills\": " << BigIntSpills << ", "
      << "\"bigint_fast_ops\": " << BigIntFastOps << ", "
      << "\"bigint_slow_ops\": " << BigIntSlowOps << ", "
+     << "\"expr_terms_inline\": " << ExprTermsInline << ", "
+     << "\"expr_terms_spilled\": " << ExprTermsSpilled << ", "
      << "\"simplify_ms\": " << ms(SimplifyNanos) << ", "
      << "\"disjoint_ms\": " << ms(DisjointNanos) << ", "
      << "\"coalesce_ms\": " << ms(CoalesceNanos) << ", "

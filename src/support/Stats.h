@@ -95,6 +95,10 @@ struct PipelineStatsSnapshot {
   // Arithmetic layer: limb (heap) representations produced, and the
   // fast/slow per-op tallies (nonzero only under setArithOpCounting).
   uint64_t BigIntSpills, BigIntFastOps, BigIntSlowOps;
+  // IR term storage (presburger/AffineExpr.h): mutations completed in the
+  // inline term buffer (gated by setArithOpCounting, like the per-op
+  // BigInt tallies) and heap term arrays materialized past InlineCapacity.
+  uint64_t ExprTermsInline, ExprTermsSpilled;
   uint64_t SimplifyNanos, DisjointNanos, CoalesceNanos, SummationNanos;
 
   /// One-line-per-counter human form (for --stats).

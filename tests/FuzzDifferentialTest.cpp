@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <iostream>
 #include <map>
 #include <string>
@@ -32,9 +33,22 @@ constexpr int kCasesPerSeed = 200;
 /// guards are vacuous or saturated at the extremes, some split inside).
 const int64_t kSymbolSamples[] = {-3, 2, 9};
 
+/// Name-sorted (name, value) view of an assignment; Assignment iterates in
+/// id order, but everything here that prints or pins symbols wants the
+/// stable name order.
+std::vector<std::pair<std::string, BigInt>> byName(const Assignment &A) {
+  std::vector<std::pair<std::string, BigInt>> Out;
+  Out.reserve(A.size());
+  for (const auto &[V, Value] : A)
+    Out.emplace_back(varName(V), Value);
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &L, const auto &R) { return L.first < R.first; });
+  return Out;
+}
+
 std::string describe(const Assignment &A) {
   std::string S;
-  for (const auto &KV : A)
+  for (const auto &KV : byName(A))
     S += KV.first + "=" + KV.second.toString() + " ";
   return S.empty() ? "(no symbols)" : S;
 }
@@ -148,7 +162,7 @@ TEST_P(CrossBackendDifferential, AllBackendsAgreeExactly) {
       // Pin the symbols into the formula so the concrete backends apply.
       std::string Pinned = "(" + FC.Text + ")";
       std::vector<std::string> AllVars = FC.Vars;
-      for (const auto &KV : A) {
+      for (const auto &KV : byName(A)) {
         Pinned += " && " + KV.first + " = " + KV.second.toString();
         AllVars.push_back(KV.first);
       }

@@ -104,6 +104,47 @@ TEST(Omegatidy, SuppressionCoversLineAndNextLine) {
             std::vector<std::string>{"naked-new"});
 }
 
+TEST(Omegatidy, PlacementNewIsNotNakedNew) {
+  // Placement new constructs into storage the caller already owns; it
+  // performs no allocation, so the naked-new rule stays silent.
+  EXPECT_TRUE(lint("src/a/B.cpp", "new (Slot) Term{V, C};\n").empty());
+  EXPECT_TRUE(lint("src/a/B.cpp", "::new (P + I) BigInt(X);\n").empty());
+  EXPECT_EQ(rulesOf(lint("src/a/B.cpp", "int *P = new int;\n")),
+            std::vector<std::string>{"naked-new"});
+}
+
+TEST(Omegatidy, StringKeyedVariableContainers) {
+  const std::string Code = "std::map<std::string, BigInt> Coeffs;\n";
+  EXPECT_EQ(rulesOf(lint("src/counting/S.cpp", Code)),
+            std::vector<std::string>{"string-keyed-vars"});
+  EXPECT_TRUE(hasRule(lint("src/omega/P.cpp",
+                           "std::unordered_map<std::string, VarId> Ids;\n"),
+                      "string-keyed-vars"));
+  EXPECT_TRUE(hasRule(lint("src/omega/P.cpp",
+                           "std::map<std::string, omega::BigInt> M;\n"),
+                      "string-keyed-vars"));
+  // The parser and the Var boundary are the blessed homes of name maps.
+  EXPECT_TRUE(lint("src/presburger/Parser.cpp", Code).empty());
+  EXPECT_TRUE(lint("src/presburger/VarTable.cpp", Code).empty());
+  EXPECT_TRUE(lint("src/presburger/Var.h",
+                   "#ifndef OMEGA_PRESBURGER_VAR_H\n"
+                   "#define OMEGA_PRESBURGER_VAR_H\n" +
+                       Code + "#endif\n")
+                  .empty());
+  // Outside src/ (tools, tests, bench) name maps face the user and are fine.
+  EXPECT_TRUE(lint("tools/t.cpp", Code).empty());
+  // Id-keyed and string-to-string maps are not variable valuations.
+  EXPECT_TRUE(
+      lint("src/counting/S.cpp", "std::map<VarId, BigInt> M;\n").empty());
+  EXPECT_TRUE(lint("src/counting/S.cpp",
+                   "std::map<std::string, std::string> Renames;\n")
+                  .empty());
+  // Suppressible like every rule.
+  EXPECT_TRUE(lint("src/counting/S.cpp",
+                   "// omegatidy: allow(string-keyed-vars)\n" + Code)
+                  .empty());
+}
+
 TEST(Omegatidy, RawSynchronizationTypesFlagged) {
   for (const char *Bad :
        {"std::mutex M;\n", "std::lock_guard<std::mutex> L(M);\n",
@@ -242,6 +283,8 @@ TEST(OmegatidyFixtures, DirtyTreeFindsEverything) {
                 "include-hygiene", // using namespace in header
                 "mutex-wrapper",   // #include <mutex>
                 "mutex-wrapper",   // std::mutex member
+                "string-keyed-vars", // std::map<std::string, BigInt>
+                "string-keyed-vars", // std::unordered_map<std::string, VarId>
             }));
 
   std::vector<Finding> Impl = lintSource("Dirty.cpp", "src/support/Dirty.cpp",

@@ -16,6 +16,11 @@ struct RawLocking {
   int Hits = 0;
 };
 
+struct NameKeyed {
+  std::map<std::string, BigInt> Coeffs;
+  std::unordered_map<std::string, VarId> Ids;
+};
+
 class Counter {
 public:
   void bump();

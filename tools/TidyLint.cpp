@@ -298,7 +298,10 @@ private:
         bool AfterOperator = Pv && Pv->Kind == Tk::Ident &&
                              (Pv->Text == "operator" ||
                               endsWith(Pv->Text, "::operator"));
-        if (T.Text == "new" && !AfterOperator)
+        // Placement new ("new (addr) T{...}") constructs into storage the
+        // caller already owns; only allocating new is a lifetime hazard.
+        bool Placement = Nx && Nx->Text == "(";
+        if (T.Text == "new" && !AfterOperator && !Placement)
           report(T, "naked-new",
                  "naked new; own memory with containers or smart pointers "
                  "(only support/BigInt.cpp spill paths are exempt)");
@@ -319,6 +322,23 @@ private:
                    T.Text + " is invisible to -Wthread-safety; use "
                    "omega::Mutex / MutexLock / UniqueLock / "
                    "ConditionVariable from support/ThreadAnnotations.h");
+
+      // String-keyed variable containers reintroduce per-term string
+      // compares/hashes on IR paths; only the parser and the Var boundary
+      // may map names, everything else keys on interned VarIds.
+      if (InSrc && !startsWith(RelPath, "src/presburger/Parser") &&
+          !startsWith(RelPath, "src/presburger/Var") &&
+          (T.Text == "std::map" || T.Text == "std::unordered_map") &&
+          I + 4 < Toks.size() && Toks[I + 1].Text == "<" &&
+          Toks[I + 2].Text == "std::string" && Toks[I + 3].Text == ",") {
+        const std::string &Val = Toks[I + 4].Text;
+        if (Val == "BigInt" || Val == "omega::BigInt" || Val == "VarId" ||
+            Val == "omega::VarId")
+          report(T, "string-keyed-vars",
+                 T.Text + "<std::string, " + Val + "> on an IR path; "
+                 "intern names into VarId (presburger/VarTable.h) and key "
+                 "on ids (DESIGN.md §16)");
+      }
 
       if (!IsTrace &&
           (T.Text == "TraceSpan" || endsWith(T.Text, "::TraceSpan")) && Nx &&

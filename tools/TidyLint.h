@@ -24,6 +24,11 @@
 ///                    sibling mutable data member with OMEGA_GUARDED_BY
 ///                    (atomics, ConditionVariable, const and static
 ///                    members are exempt by construction).
+///   string-keyed-vars  no std::map/std::unordered_map from std::string to
+///                    BigInt/VarId in src/ outside the parser and the Var
+///                    boundary (presburger/Parser.*, presburger/Var*) —
+///                    variable valuations intern names into VarId
+///                    (presburger/VarTable.h) and key on ids.
 ///   trace-span-temp  no unnamed-temporary TraceSpan: `TraceSpan("x");`
 ///                    dies immediately and times nothing.
 ///   header-guard     .h guards must spell the path: src/support/Cache.h

@@ -48,10 +48,10 @@ differential_leg() {
   echo "=== differential: $dir clean"
 }
 
-# Bench leg: quick runs of the two benchmark gates.  Both binaries enforce
-# their own correctness claims (identical answers across configurations for
+# Bench leg: quick runs of the benchmark gates.  Each binary enforces its
+# own correctness claims (identical answers across configurations for
 # bench_pipeline; differential + golden checksums, zero allocations, and
-# zero spills for bench_arith) and exit nonzero on violation.  When python3
+# zero spills for bench_arith and bench_ir) and exits nonzero on violation.  When python3
 # is available the emitted JSON is additionally parsed and its headline
 # fields checked; on the unsanitized default leg the small-value fast path
 # must beat the spilled limb path by >= 5x geomean (sanitizer
@@ -65,11 +65,14 @@ bench_leg() {
     | grep -q "bench_pipeline: ok"
   "$dir/bench/bench_backend" --quick --out "$dir/BENCH_backend.json" \
     2>&1 | grep -q "bench_backend: ok"
+  "$dir/bench/bench_ir" --quick --out "$dir/BENCH_ir.json" \
+    | grep -q "bench_ir: ok"
   if command -v python3 >/dev/null 2>&1; then
     strict=0
     case $dir in *-default) strict=1 ;; esac
     python3 - "$dir/BENCH_arith.json" "$dir/BENCH_pipeline.json" \
         "$strict" "$dir/BENCH_backend.json" "$root/BENCH_pipeline.json" \
+        "$dir/BENCH_ir.json" "$root/BENCH_ir.json" \
         <<'PYEOF'
 import json, sys
 arith = json.load(open(sys.argv[1]))
@@ -80,10 +83,10 @@ assert arith["checks_passed"], "bench_arith self-checks failed"
 assert arith["small_allocations_total"] == 0, "small path allocated"
 assert arith["small_spills_total"] == 0, "small path spilled"
 assert all(s["checksum_ok"] for s in arith["sections"])
-assert pipe["schema"] == 4, "bench_pipeline JSON schema drifted"
+assert pipe["schema"] == 5, "bench_pipeline JSON schema drifted"
 assert pipe["answers_identical"], "bench_pipeline answers diverged"
 assert len(pipe["configs"]) == 5
-assert all(c["stats"]["schema"] == 4 for c in pipe["configs"])
+assert all(c["stats"]["schema"] == 5 for c in pipe["configs"])
 # Coalesce gates (quick run, deterministic counters): the indexed worklist
 # must beat the committed pre-index baseline by the ISSUE's bars on the
 # full-scale bench; on the quick bench the counters are deterministic, so
@@ -109,7 +112,7 @@ else:
 # bars against the pre-index baseline recorded inside it: >= 3x less
 # coalesce wall time, >= 5x fewer feasibility tests, identical answers.
 full = json.load(open(sys.argv[5]))
-assert full["schema"] == 4 and full["answers_identical"]
+assert full["schema"] == 5 and full["answers_identical"]
 base = full["baseline"]
 fserial = next(c["stats"] for c in full["configs"]
                if c["name"] == "serial-nocache")
@@ -124,13 +127,33 @@ assert ms_ratio >= 3.0, \
 assert backend["schema"] == 3, "bench_backend JSON schema drifted"
 assert backend["answers_identical"], "bench_backend counts diverged"
 assert len(backend["cases"]) >= 5, "dense-finite corpus shrank"
+# IR gates: the flat-term correctness and allocation claims hold on every
+# leg (the differential checksums are timing-independent and the inline
+# path allocates nothing regardless of instrumentation); the 3x speedup
+# bar, like arith's, only means something uninstrumented.
+ir = json.load(open(sys.argv[6]))
+assert ir["checks_passed"], "bench_ir self-checks failed"
+assert ir["flat_allocations_total"] == 0, "flat inline path allocated"
+assert ir["flat_term_spills"] == 0, "flat inline path spilled terms"
+assert all(s["checksum_ok"] for s in ir["sections"])
+# The committed full-scale BENCH_ir.json must clear the ISSUE bar: >= 3x
+# aggregate over the string-keyed map model, allocation- and spill-free.
+full_ir = json.load(open(sys.argv[7]))
+assert full_ir["checks_passed"], "committed BENCH_ir.json self-checks failed"
+assert full_ir["flat_allocations_total"] == 0
+assert full_ir["flat_term_spills"] == 0
+assert full_ir["aggregate_speedup"] >= 3.0, \
+    f"committed bench: flat terms only {full_ir['aggregate_speedup']:.2f}x " \
+    "vs the map model (want >= 3x)"
 if strict:
     assert arith["speedup_geomean"] >= 5.0, \
         f"fast path only {arith['speedup_geomean']:.2f}x vs spilled (want >= 5x)"
     assert backend["speedup"] >= 2.0, \
         f"automaton only {backend['speedup']:.2f}x vs pugh (want >= 2x)"
-print("bench json: ok (arith x%.1f, automaton x%.1f)"
-      % (arith["speedup_geomean"], backend["speedup"]))
+    assert ir["aggregate_speedup"] >= 3.0, \
+        f"flat terms only {ir['aggregate_speedup']:.2f}x vs map (want >= 3x)"
+print("bench json: ok (arith x%.1f, automaton x%.1f, ir x%.1f)"
+      % (arith["speedup_geomean"], backend["speedup"], ir["aggregate_speedup"]))
 PYEOF
   else
     echo "bench json: python3 unavailable, JSON checks skipped"

@@ -36,6 +36,7 @@
 #include "FormulaFile.h"
 #include "Options.h"
 
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -59,6 +60,19 @@ std::vector<std::string> splitList(const std::string &S) {
     if (!Item.empty())
       Out.push_back(Item);
   return Out;
+}
+
+/// Prints an assignment's bindings as " name=value" in name order (the
+/// Assignment itself iterates in id order).
+void printBindings(const Assignment &At) {
+  std::vector<std::pair<std::string, const BigInt *>> Rows;
+  Rows.reserve(At.size());
+  for (const auto &[V, Value] : At)
+    Rows.emplace_back(varName(V), &Value);
+  std::sort(Rows.begin(), Rows.end(),
+            [](const auto &L, const auto &R) { return L.first < R.first; });
+  for (const auto &[Name, Value] : Rows)
+    std::cout << " " << Name << "=" << *Value;
 }
 
 Assignment parseBindings(const std::string &S) {
@@ -241,8 +255,7 @@ int runTool(int Argc, char **Argv) {
       if (!R.Value.isUnbounded())
         for (const Assignment &At : Ats) {
           std::cout << "at";
-          for (const auto &[Name, Value] : At)
-            std::cout << " " << Name << "=" << Value;
+          printBindings(At);
           std::cout << ": " << R.Value.evaluate(At).toString() << "\n";
         }
     }
@@ -279,8 +292,7 @@ int runTool(int Argc, char **Argv) {
       if (!BC.Value.isUnbounded())
         for (const Assignment &At : Ats) {
           std::cout << "at";
-          for (const auto &[Name, Value] : At)
-            std::cout << " " << Name << "=" << Value;
+          printBindings(At);
           std::cout << ": " << BC.Value.evaluate(At).toString() << "\n";
         }
       return Finish();
@@ -291,8 +303,7 @@ int runTool(int Argc, char **Argv) {
     std::cout << "upper bound:\n  " << BC.Upper << "\n";
     for (const Assignment &At : Ats) {
       std::cout << "at";
-      for (const auto &[Name, Value] : At)
-        std::cout << " " << Name << "=" << Value;
+      printBindings(At);
       std::cout << ": in [" << BC.Lower.evaluate(At).toString() << ", "
                 << (BC.Upper.isUnbounded()
                         ? std::string("unbounded")
@@ -327,8 +338,7 @@ int runTool(int Argc, char **Argv) {
 
   for (const Assignment &At : Ats) {
     std::cout << "at";
-    for (const auto &[Name, Value] : At)
-      std::cout << " " << Name << "=" << Value;
+    printBindings(At);
     std::cout << ": " << V.evaluate(At).toString() << "\n";
     if (Sample) {
       if (std::optional<Assignment> P = Set.sample(At)) {

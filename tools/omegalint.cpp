@@ -169,8 +169,17 @@ void lintFile(const std::string &Path, LintStats &Stats) {
     ++Checked;
     ++Stats.Samples;
     std::ostringstream Where;
-    for (const auto &[Name, Value] : At)
-      Where << " " << Name << "=" << Value;
+    {
+      // Name order (Assignment iterates in id order).
+      std::vector<std::pair<std::string, const BigInt *>> Rows;
+      Rows.reserve(At.size());
+      for (const auto &[V, Value] : At)
+        Rows.emplace_back(varName(V), &Value);
+      std::sort(Rows.begin(), Rows.end(),
+                [](const auto &L, const auto &R) { return L.first < R.first; });
+      for (const auto &[Name, Value] : Rows)
+        Where << " " << Name << "=" << *Value;
+    }
     if (!Symbolic.isInteger() || Symbolic.asInteger() != Exact) {
       problem(Stats, Path,
               "count mismatch at" + Where.str() + ": symbolic " +
