@@ -81,8 +81,8 @@ struct ConfigResult {
 
 /// Runs the workload once under the given knobs from a fully reset state
 /// (unless \p Warm, which keeps the cache from the previous run).  Each
-/// query goes through the options-taking entry point — the per-query knob
-/// application there must be bit-identical to the legacy global setters.
+/// query goes through the options-taking entry point, which installs a
+/// per-query context (support/QueryContext.h) rather than process state.
 ConfigResult runConfig(const std::string &Name, int Scale, int Reps,
                        unsigned Workers, size_t CacheCapacity, bool Warm,
                        const EffortBudget &Budget, bool CountArithOps) {

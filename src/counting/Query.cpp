@@ -1,11 +1,14 @@
 //===- counting/Query.cpp - Unified options-taking query entry point -----===//
 //
-// Implements omega::sumPolynomial / omega::countSolutions(CountOptions):
-// one entry point that applies a CountOptions (workers, cache, budget,
-// stats, tracing) for the duration of a query and restores the previous
-// process state on return.  The legacy process-global knobs keep working —
-// CountOptions{} defaults reproduce them — but new code should come in
-// through here.
+// Implements omega::sumPolynomial / omega::countSolutions / countBatch:
+// re-entrant entry points that translate a CountOptions into a
+// QueryContext installed for the query's duration (support/QueryContext.h)
+// instead of mutating process globals.  Concurrent queries on different
+// threads — omegad sessions, batch hosts — therefore run with independent
+// knobs and independent stats.  The one process-wide piece a query may
+// still claim is the trace session, which is single-occupancy by design:
+// queries with CollectTrace serialize on a mutex, and every other query
+// simply opts out of participating in a foreign session.
 //
 //===----------------------------------------------------------------------===//
 
@@ -13,106 +16,132 @@
 #include "counting/Summation.h"
 
 #include "support/BigInt.h"
-#include "support/ThreadPool.h"
+#include "support/QueryContext.h"
+#include "support/ThreadAnnotations.h"
 
 using namespace omega;
 
 namespace {
 
-/// RAII: installs the query's knob settings and restores the previous
-/// values (the deprecated process globals double as the save slots, so a
-/// query nested inside legacy-configured code is transparent to it).
-class ScopedKnobs {
+/// The lock serializing traced queries (tracing is process-wide and
+/// single-session, DESIGN.md §12).  Function-local so it constructs on
+/// first traced query.
+Mutex &traceSessionMutex() {
+  static Mutex M;
+  return M;
+}
+
+/// RAII around one query's trace session: acquires the session lock and
+/// starts tracing when the query wants a trace, and guarantees the session
+/// is stopped and the lock released on every exit path (including
+/// exceptions out of the backend).
+///
+/// The conditional acquisition is outside what the capability analysis can
+/// model (lock held iff Enabled), so the methods opt out wholesale; the
+/// invariant is local to this 25-line class.
+class ScopedTraceSession {
 public:
-  explicit ScopedKnobs(const CountOptions &Opts)
-      : PrevWorkers(workerCount()), PrevCache(conjunctCacheCapacity()),
-        PrevArith(arithCounters().CountOps.load(std::memory_order_relaxed)) {
-    setWorkerCount(Opts.Workers);
-    setConjunctCacheCapacity(Opts.CacheEnabled ? Opts.CacheCapacity : 0);
-    setArithOpCounting(Opts.CountArithOps);
+  explicit ScopedTraceSession(bool Enabled)
+      OMEGA_NO_THREAD_SAFETY_ANALYSIS : Enabled(Enabled) {
+    if (!Enabled)
+      return;
+    traceSessionMutex().lock();
+    startTracing();
   }
 
-  ~ScopedKnobs() {
-    setWorkerCount(PrevWorkers);
-    setConjunctCacheCapacity(PrevCache);
-    setArithOpCounting(PrevArith);
+  /// Ends the session and returns its data (null when not tracing).
+  std::shared_ptr<const TraceData> finish() {
+    if (!Enabled || Stopped)
+      return nullptr;
+    Stopped = true;
+    return stopTracing();
   }
 
-  ScopedKnobs(const ScopedKnobs &) = delete;
-  ScopedKnobs &operator=(const ScopedKnobs &) = delete;
+  ~ScopedTraceSession() OMEGA_NO_THREAD_SAFETY_ANALYSIS {
+    if (!Enabled)
+      return;
+    if (!Stopped)
+      (void)stopTracing();
+    traceSessionMutex().unlock();
+  }
+
+  ScopedTraceSession(const ScopedTraceSession &) = delete;
+  ScopedTraceSession &operator=(const ScopedTraceSession &) = delete;
 
 private:
-  unsigned PrevWorkers;
-  size_t PrevCache;
-  bool PrevArith;
+  bool Enabled;
+  bool Stopped = false;
 };
-
-PipelineStatsSnapshot subtract(const PipelineStatsSnapshot &After,
-                               const PipelineStatsSnapshot &Before) {
-  PipelineStatsSnapshot D = After;
-  D.FeasibilityTests -= Before.FeasibilityTests;
-  D.ProjectionCalls -= Before.ProjectionCalls;
-  D.ClausesSimplified -= Before.ClausesSimplified;
-  D.SplintersGenerated -= Before.SplintersGenerated;
-  D.CacheHits -= Before.CacheHits;
-  D.CacheMisses -= Before.CacheMisses;
-  D.CacheEvictions -= Before.CacheEvictions;
-  D.ParallelBatches -= Before.ParallelBatches;
-  D.ParallelTasks -= Before.ParallelTasks;
-  D.CoalescePairs -= Before.CoalescePairs;
-  D.CoalescePrefiltered -= Before.CoalescePrefiltered;
-  D.CoalesceMerges -= Before.CoalesceMerges;
-  D.BudgetTrips -= Before.BudgetTrips;
-  D.DegradedQueries -= Before.DegradedQueries;
-  D.AutomatonDfaStates -= Before.AutomatonDfaStates;
-  D.AutomatonProductStates -= Before.AutomatonProductStates;
-  D.AutomatonTransitions -= Before.AutomatonTransitions;
-  D.EnumeratedPoints -= Before.EnumeratedPoints;
-  D.BackendFallbacks -= Before.BackendFallbacks;
-  D.BigIntSpills -= Before.BigIntSpills;
-  D.BigIntFastOps -= Before.BigIntFastOps;
-  D.BigIntSlowOps -= Before.BigIntSlowOps;
-  D.SimplifyNanos -= Before.SimplifyNanos;
-  D.DisjointNanos -= Before.DisjointNanos;
-  D.CoalesceNanos -= Before.CoalesceNanos;
-  D.SummationNanos -= Before.SummationNanos;
-  return D;
-}
 
 } // namespace
 
 CountResult omega::sumPolynomial(const Formula &F, const VarSet &Vars,
                                  const QuasiPolynomial &X,
                                  const CountOptions &Opts) {
-  CountResult Out;
-  ScopedKnobs Knobs(Opts);
-  PipelineStatsSnapshot Before;
-  if (Opts.CollectStats)
-    Before = snapshotPipelineStats();
-  if (Opts.CollectTrace)
-    startTracing();
+  const QueryContext *Prev = activeQueryContext();
 
+  // The cache storage is shared and grow-only from here: a query may ask
+  // for more capacity than the host configured, never less, so one
+  // small-cache query cannot evict a server's warm entries.  Opting out of
+  // the cache entirely is per-query (QueryContext::CacheEnabled).
+  if (Opts.CacheEnabled && Opts.CacheCapacity > conjunctCacheCapacity())
+    configureConjunctCache(Opts.CacheCapacity);
+
+  QueryStatsBlock Block;
+  const bool WantStats = Opts.CollectStats || Opts.CountArithOps;
+  Block.Arith.CountOps.store(Opts.CountArithOps, std::memory_order_relaxed);
+
+  QueryContext Ctx;
+  Ctx.Workers = Opts.Workers;
+  Ctx.CacheEnabled = Opts.CacheEnabled;
+  // A traced query participates in its own session; an untraced query
+  // inherits participation (so a tool-level trace keeps seeing nested
+  // queries) and defaults to participating when top-level, which keeps
+  // bare startTracing() callers (tests) recording.
+  Ctx.TraceParticipant =
+      Opts.CollectTrace || (Prev ? Prev->TraceParticipant : true);
+  Ctx.Stats = WantStats ? &Block : nullptr;
+
+  CountResult Out;
   try {
+    QueryContextScope Scope(Ctx);
+    ScopedTraceSession Trace(Opts.CollectTrace);
     // Backend selection and the per-backend algorithms live in
     // counting/Backend.cpp; the default (Pugh) reproduces the pre-PR-7
     // pipeline bit for bit.
     Out = dispatchCount(F, Vars, X, Opts);
+    Out.Trace = Trace.finish();
   } catch (...) {
-    // Stop the trace session before rethrowing so the process is not left
-    // tracing forever (the knobs restore via ScopedKnobs).
-    if (Opts.CollectTrace)
-      (void)stopTracing();
+    // The scope has unwound, so the fold lands in the enclosing targets —
+    // work done before the throw stays visible to aggregate stats.
+    if (WantStats)
+      foldQueryStats(Block);
     throw;
   }
-
-  if (Opts.CollectTrace)
-    Out.Trace = stopTracing();
-  if (Opts.CollectStats)
-    Out.Stats = subtract(snapshotPipelineStats(), Before);
+  if (WantStats) {
+    Out.Stats = snapshotQueryStats(Block);
+    // Fold the block into whatever this thread resolves to now that the
+    // scope popped — an enclosing query's block, a tool-level collector,
+    // or the process-wide counters — so aggregate observability (--stats
+    // at tool exit, omegad's stats endpoint) still sees all work.
+    foldQueryStats(Block);
+  }
   return Out;
 }
 
 CountResult omega::countSolutions(const Formula &F, const VarSet &Vars,
                                   const CountOptions &Opts) {
   return sumPolynomial(F, Vars, QuasiPolynomial(Rational(1)), Opts);
+}
+
+std::vector<CountResult> omega::countBatch(std::span<const CountQuery> Queries) {
+  std::vector<CountResult> Out;
+  Out.reserve(Queries.size());
+  // Sequential by design: each element gets its own context and stats
+  // delta (isolation is the contract QueryApiTest pins), and any
+  // parallelism belongs *inside* a query (CountOptions::Workers) or above
+  // the batch (omegad scheduling whole queries onto the pool).
+  for (const CountQuery &Q : Queries)
+    Out.push_back(sumPolynomial(Q.F, Q.Vars, Q.X, Q.Opts));
+  return Out;
 }

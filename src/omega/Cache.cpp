@@ -24,6 +24,7 @@
 #include "omega/Omega.h"
 
 #include "support/Cache.h"
+#include "support/QueryContext.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -69,8 +70,15 @@ private:
   WildcardScope Scope;
 };
 
+/// Whether the *current query* participates in memoization: the storage
+/// must have capacity, and the active QueryContext (if any) must not have
+/// opted out.  Queries outside any context (direct API probes in tests)
+/// default to participating.
 bool cacheEnabled() {
-  return CapacityKnob.load(std::memory_order_relaxed) > 0;
+  if (CapacityKnob.load(std::memory_order_relaxed) == 0)
+    return false;
+  const QueryContext *Ctx = activeQueryContext();
+  return !Ctx || Ctx->CacheEnabled;
 }
 
 std::string projectionKey(const CanonicalConjunct &Canon, const VarSet &Vars,
@@ -155,7 +163,7 @@ std::vector<Conjunct> omega::projectVars(const Conjunct &C, const VarSet &Vars,
   return Result;
 }
 
-void omega::setConjunctCacheCapacity(size_t Capacity) {
+void omega::configureConjunctCache(size_t Capacity) {
   CapacityKnob.store(Capacity, std::memory_order_relaxed);
   feasCache().setCapacity(Capacity);
   projCache().setCapacity(Capacity);

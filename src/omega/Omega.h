@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace omega {
@@ -153,12 +154,13 @@ struct ConjunctCacheStats {
   size_t Entries = 0; ///< Current number of cached results.
 };
 
-/// Sets the per-cache entry capacity.  0 disables memoization entirely
-/// (every query recomputes); shrinking evicts LRU entries immediately.
-///
-/// Deprecated shim: prefer CountOptions::CacheEnabled/CacheCapacity
-/// (below), which apply per query instead of mutating process state.
-void setConjunctCacheCapacity(size_t Capacity);
+/// Configures the process-wide cache *storage*: per-cache entry capacity.
+/// 0 disables memoization entirely (every query recomputes); shrinking
+/// evicts LRU entries immediately.  This sizes the shared store that all
+/// queries use — whether an individual query participates is per-query
+/// (CountOptions::CacheEnabled).  Long-running hosts (omegad) call this
+/// once at startup; queries then share the warm cache across requests.
+void configureConjunctCache(size_t Capacity);
 size_t conjunctCacheCapacity();
 
 /// Drops all cached results and resets hit/miss/eviction counters.  Callers
@@ -181,13 +183,15 @@ std::vector<Conjunct> projectVarsImpl(const Conjunct &C, const VarSet &Vars,
 // Unified query API (counting/Query.cpp)
 //
 // One options-taking entry point for every counting/summation query.  The
-// pre-PR-5 way to configure a query was a set of mutable process globals
-// (setWorkerCount, setConjunctCacheCapacity, setArithOpCounting); those
-// remain as deprecated shims for one release, but new code should pass a
-// CountOptions instead — the entry point applies the options for the
-// duration of the query and restores the previous process state on return,
-// so concurrent callers with different options no longer trample each
-// other's knobs.
+// legacy global-knob setters (setWorkerCount, setConjunctCacheCapacity,
+// setArithOpCounting) are gone: a query's CountOptions translate into a
+// QueryContext (support/QueryContext.h) installed for the query's
+// duration, so the entry points are re-entrant — concurrent queries on
+// different threads (omegad sessions, countBatch hosts) run with
+// independent knobs and independent stats, mutating no process state.
+// The only process-wide pieces left are deliberate: the worker pool, the
+// conjunct cache storage (configureConjunctCache above), and the global
+// counters that per-query stats fold into.
 //===----------------------------------------------------------------------===//
 
 /// Which counting algorithm answers a query (counting/Backend.h).  The
@@ -265,6 +269,13 @@ struct [[nodiscard]] CountResult {
   std::shared_ptr<const TraceData> Trace;
 
   [[nodiscard]] bool exact() const { return Status == CountStatus::Exact; }
+
+  /// The machine-readable outcome code (support/Status.h): the single
+  /// vocabulary the wire protocol and the tools' exit codes both map from.
+  [[nodiscard]] QueryOutcome outcome() const {
+    return Status == CountStatus::Error ? queryOutcomeForError(Err.Kind)
+                                        : queryOutcomeForStatus(Status);
+  }
 };
 
 /// (Σ Vars : F : X) under \p Opts — THE entry point; every other overload
@@ -278,6 +289,23 @@ struct [[nodiscard]] CountResult {
 [[nodiscard]] CountResult countSolutions(const Formula &F,
                                          const VarSet &Vars,
                                          const CountOptions &Opts);
+
+/// One query of a batch: (Σ Vars : F : X) under Opts.
+struct CountQuery {
+  Formula F;
+  VarSet Vars;
+  QuasiPolynomial X = QuasiPolynomial(Rational(1));
+  CountOptions Opts;
+};
+
+/// Runs each query in order and returns one CountResult per query,
+/// index-aligned.  Semantically identical to calling sumPolynomial per
+/// element — each query gets its own context and its own stats delta
+/// (nothing leaks between batch elements) — but shares the warm conjunct
+/// cache across the batch.  The shared entry point behind omegad's request
+/// loop and `omegaclient --batch`.
+[[nodiscard]] std::vector<CountResult>
+countBatch(std::span<const CountQuery> Queries);
 
 } // namespace omega
 

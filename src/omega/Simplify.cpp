@@ -13,6 +13,7 @@
 #include "presburger/Parallel.h"
 #include "support/Budget.h"
 #include "support/Error.h"
+#include "support/QueryContext.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -767,7 +768,13 @@ private:
     pipelineStats().ParallelBatches += 1;
     pipelineStats().ParallelTasks += Batch.size();
     const uint64_t TraceParent = currentTraceSpan();
-    ThreadPool::instance().run(Batch.size(), [&](size_t T) {
+    // Direct pool use (not via forEachDisjunct), so the enqueuing thread's
+    // query environment is re-installed by hand: pair evaluations read the
+    // cache knob and tally counters, which must attribute to this query.
+    const QueryEnvironment Env = captureQueryEnvironment();
+    const unsigned Width = effectiveParallelWidth();
+    ThreadPool::instance().run(Batch.size(), Width, [&](size_t T) {
+      QueryEnvironmentScope EnvScope(Env);
       TraceTaskScope TraceScope(TraceParent);
       auto [I, J] = Batch[T];
       WildcardScope Scope("c" + std::to_string(Ids[I]) + "x" +

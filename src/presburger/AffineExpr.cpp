@@ -46,7 +46,7 @@ void AffineExpr::growTo(uint32_t NeedCap) {
     ::operator delete(Terms);
   Terms = NewTerms;
   Cap = NewCap;
-  detail::ExprStats.Spills.fetch_add(1, std::memory_order_relaxed);
+  exprCounters().Spills.fetch_add(1, std::memory_order_relaxed);
 }
 
 AffineExpr::AffineExpr(const AffineExpr &RHS)

@@ -30,6 +30,7 @@
 
 #include "presburger/Var.h"
 #include "support/BigInt.h"
+#include "support/Stats.h"
 
 #include <atomic>
 #include <cstdint>
@@ -39,21 +40,9 @@
 
 namespace omega {
 
-/// IR-layer observability counters (surfaced through
-/// snapshotPipelineStats(); see support/Stats.h).  Spills — heap term
-/// arrays materialized for expressions wider than InlineCapacity — are
-/// always counted.  Per-operation inline tallies are gated behind the same
-/// CountOps flag as the BigInt fast/slow counters.
-struct ExprCounters {
-  std::atomic<uint64_t> Spills{0};    ///< Heap term arrays allocated.
-  std::atomic<uint64_t> InlineOps{0}; ///< Term mutations completed inline.
-};
-
-namespace detail {
-inline ExprCounters ExprStats;
-} // namespace detail
-
-inline ExprCounters &exprCounters() { return detail::ExprStats; }
+// The IR-layer observability counters (ExprCounters, exprCounters()) live
+// in support/Stats.h so per-query stats blocks can hold a set; the flat
+// term storage below is their only producer.
 
 /// Sparse affine expression over interned integer variables.  Zero
 /// coefficients are never stored, so equal expressions have equal
@@ -288,7 +277,7 @@ private:
 
   static void noteInlineOp() {
     if (arithCounters().CountOps.load(std::memory_order_relaxed))
-      detail::ExprStats.InlineOps.fetch_add(1, std::memory_order_relaxed);
+      exprCounters().InlineOps.fetch_add(1, std::memory_order_relaxed);
   }
 
   Term *Terms;       ///< Inline buffer or heap array, id-sorted.

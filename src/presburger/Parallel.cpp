@@ -3,6 +3,7 @@
 #include "presburger/Parallel.h"
 
 #include "support/Budget.h"
+#include "support/QueryContext.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -22,22 +23,31 @@ void omega::forEachDisjunct(size_t N, const std::function<void(size_t)> &Fn) {
   // rethrows the first BudgetExceeded on the calling thread after the
   // batch drains, and the batch's partial results are discarded with it.
   const std::shared_ptr<BudgetState> Budget = activeBudget();
+  // Workers also observe the caller's query context and counter redirects:
+  // pool threads carry none of their own, and the pool interleaves batches
+  // from concurrent queries, so each task re-installs the enqueuing
+  // thread's environment first — worker-side work attributes to (and reads
+  // the knobs of) the query that spawned it, not whichever query last ran
+  // on that thread.
+  const QueryEnvironment Env = captureQueryEnvironment();
   // Spans opened inside a task parent to the span that was open here on
   // the enqueuing thread, so the exported tree has the same shape at every
   // worker count (DESIGN.md §12).  Inline execution matches: the open span
   // is then the parent directly.
   const uint64_t TraceParent = currentTraceSpan();
   auto RunOne = [&](size_t I) {
+    QueryEnvironmentScope ES(Env);
     BudgetScope BS(Budget);
     TraceTaskScope TS(TraceParent);
     WildcardScope Scope(Base + "t" + std::to_string(I));
     Fn(I);
   };
   // Fan out only at top level: nested batches (scope already active) and
-  // batches issued from a worker run inline, keeping the pool
-  // non-reentrant.  The N > 1 cutoff is data-dependent, never
+  // batches issued from a worker run inline, keeping per-batch nesting
+  // deterministic.  The N > 1 cutoff is data-dependent, never
   // schedule-dependent, so it cannot break determinism.
-  bool Parallel = N > 1 && workerCount() >= 2 && !wildcardScopeActive() &&
+  const unsigned Width = Env.Ctx ? Env.Ctx->Workers : 0;
+  bool Parallel = N > 1 && Width >= 2 && !wildcardScopeActive() &&
                   !ThreadPool::onWorkerThread();
   if (!Parallel) {
     for (size_t I = 0; I < N; ++I)
@@ -46,5 +56,5 @@ void omega::forEachDisjunct(size_t N, const std::function<void(size_t)> &Fn) {
   }
   pipelineStats().ParallelBatches += 1;
   pipelineStats().ParallelTasks += N;
-  ThreadPool::instance().run(N, RunOne);
+  ThreadPool::instance().run(N, Width, RunOne);
 }

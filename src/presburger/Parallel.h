@@ -37,9 +37,9 @@
 namespace omega {
 
 /// Runs Fn(0..N-1), each index under its own deterministic WildcardScope.
-/// Uses the worker pool when setWorkerCount() >= 2 and this is a top-level
-/// fan-out (no scope active on the calling thread); otherwise runs the
-/// items inline in index order.  Fn must only touch shared state through
+/// Uses the worker pool when the active QueryContext asks for >= 2 workers
+/// and this is a top-level fan-out (no scope active on the calling
+/// thread); otherwise runs the items inline in index order.  Fn must only touch shared state through
 /// per-index slots or thread-safe structures (the conjunct cache, the
 /// pipeline stats).
 void forEachDisjunct(size_t N, const std::function<void(size_t)> &Fn);

@@ -1,0 +1,106 @@
+//===- server/RequestQueue.h - Admission control ---------------*- C++ -*-===//
+//
+// Part of OmegaCount (reproduction of Pugh, PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// omegad's admission control (DESIGN.md §17).  Effort budgets double as
+/// the load-shedding mechanism: instead of queueing unbounded work, the
+/// server keeps a count of in-flight queries and applies a two-threshold
+/// policy —
+///
+///   in-flight <  Soft  ->  Run: execute with the client's own budget.
+///   in-flight <  Hard  ->  Shed: execute, but clamp the budget to the
+///                          server's shed budget, so the query degrades
+///                          to certified dark/real-shadow bounds fast
+///                          instead of holding a worker for seconds.
+///   otherwise          ->  Reject: answer QueryOutcome::Overloaded
+///                          without running anything.
+///
+/// There is no waiting queue on purpose: a local client blocked on its
+/// socket *is* the queue, and bounding concurrent execution (rather than
+/// buffering requests) keeps the server's memory footprint proportional
+/// to Hard, not to the burst size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SERVER_REQUESTQUEUE_H
+#define OMEGA_SERVER_REQUESTQUEUE_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace omega {
+namespace server {
+
+/// What admission control decided for one request.
+enum class Admission {
+  Run,    ///< Under the soft limit: run with the client's budget.
+  Shed,   ///< Between soft and hard: run with the clamped shed budget.
+  Reject, ///< At the hard limit: answer Overloaded, run nothing.
+};
+
+/// Counts in-flight queries and applies the Run/Shed/Reject policy.
+/// Lock-free: one atomic carries the whole state, and the compare-exchange
+/// loop in admit() makes the decision and the increment one step, so two
+/// racing requests can never both sneak under a limit.
+class RequestQueue {
+public:
+  /// \p Soft and \p Hard are in-flight query caps, Soft <= Hard; a Hard of
+  /// 0 rejects everything (useful in tests).
+  RequestQueue(uint32_t Soft, uint32_t Hard)
+      : Soft(Soft), Hard(Hard < Soft ? Soft : Hard) {}
+
+  /// Decides one request's fate and, unless rejected, claims a slot the
+  /// caller must release() after the query finishes (success or not).
+  Admission admit() {
+    uint32_t Cur = InFlight.load(std::memory_order_relaxed);
+    while (true) {
+      if (Cur >= Hard) {
+        Rejected.fetch_add(1, std::memory_order_relaxed);
+        return Admission::Reject;
+      }
+      if (InFlight.compare_exchange_weak(Cur, Cur + 1,
+                                         std::memory_order_relaxed)) {
+        if (Cur >= Soft) {
+          Shedded.fetch_add(1, std::memory_order_relaxed);
+          return Admission::Shed;
+        }
+        Admitted.fetch_add(1, std::memory_order_relaxed);
+        return Admission::Run;
+      }
+      // Cur was reloaded by the failed CAS; re-evaluate the thresholds.
+    }
+  }
+
+  /// Returns the slot claimed by an admit() that returned Run or Shed.
+  void release() { InFlight.fetch_sub(1, std::memory_order_relaxed); }
+
+  uint32_t inFlight() const {
+    return InFlight.load(std::memory_order_relaxed);
+  }
+  uint64_t admitted() const {
+    return Admitted.load(std::memory_order_relaxed);
+  }
+  uint64_t shedded() const { return Shedded.load(std::memory_order_relaxed); }
+  uint64_t rejected() const {
+    return Rejected.load(std::memory_order_relaxed);
+  }
+
+  uint32_t softLimit() const { return Soft; }
+  uint32_t hardLimit() const { return Hard; }
+
+private:
+  const uint32_t Soft;
+  const uint32_t Hard;
+  std::atomic<uint32_t> InFlight{0};
+  std::atomic<uint64_t> Admitted{0};
+  std::atomic<uint64_t> Shedded{0};
+  std::atomic<uint64_t> Rejected{0};
+};
+
+} // namespace server
+} // namespace omega
+
+#endif // OMEGA_SERVER_REQUESTQUEUE_H

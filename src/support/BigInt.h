@@ -50,17 +50,21 @@ struct ArithCounters {
 
 namespace detail {
 inline ArithCounters ArithStats;
+/// Per-thread redirect installed by QueryContextScope
+/// (support/QueryContext.h): when non-null, arithmetic counter traffic on
+/// this thread lands in the active query's block instead of the
+/// process-wide counters.  Per-query op counting happens by giving the
+/// block's CountOps flag the query's CountArithOps setting — no process
+/// state is ever mutated.
+inline thread_local ArithCounters *ActiveArithStats = nullptr;
 } // namespace detail
 
-inline ArithCounters &arithCounters() { return detail::ArithStats; }
-
-/// Enables/disables the per-operation fast/slow counters (spills are
-/// always counted).  Does not reset existing tallies.
-///
-/// Deprecated shim: prefer CountOptions::CountArithOps (omega/Omega.h),
-/// which applies per query instead of mutating process state.
-inline void setArithOpCounting(bool Enable) {
-  detail::ArithStats.CountOps.store(Enable, std::memory_order_relaxed);
+/// The arithmetic counters ops on this thread tally into: the active
+/// query's block under a stats-collecting QueryContextScope, else the
+/// process-wide instance.
+inline ArithCounters &arithCounters() {
+  return detail::ActiveArithStats ? *detail::ActiveArithStats
+                                  : detail::ArithStats;
 }
 
 /// Arbitrary-precision signed integer with a small-value optimization.

@@ -2,7 +2,6 @@
 
 #include "support/Stats.h"
 
-#include "presburger/AffineExpr.h"
 #include "support/BigInt.h"
 
 #include <sstream>
@@ -27,8 +26,8 @@ void PipelineCounters::reset() {
   AutomatonDfaStates = 0;
   AutomatonProductStates = 0;
   AutomatonTransitions = 0;
-  EnumeratedPoints = 0;
   BackendFallbacks = 0;
+  EnumeratedPoints = 0;
   ArithCounters &A = arithCounters();
   A.Spills = 0;
   A.FastOps = 0;
@@ -43,12 +42,15 @@ void PipelineCounters::reset() {
 }
 
 PipelineCounters &omega::pipelineStats() {
+  if (detail::ActivePipelineStats)
+    return *detail::ActivePipelineStats;
   static PipelineCounters Counters;
   return Counters;
 }
 
-PipelineStatsSnapshot omega::snapshotPipelineStats() {
-  PipelineCounters &C = pipelineStats();
+PipelineStatsSnapshot omega::snapshotStats(const PipelineCounters &C,
+                                           const ArithCounters &A,
+                                           const ExprCounters &E) {
   PipelineStatsSnapshot S;
   S.FeasibilityTests = C.FeasibilityTests.load();
   S.ProjectionCalls = C.ProjectionCalls.load();
@@ -69,11 +71,9 @@ PipelineStatsSnapshot omega::snapshotPipelineStats() {
   S.AutomatonTransitions = C.AutomatonTransitions.load();
   S.EnumeratedPoints = C.EnumeratedPoints.load();
   S.BackendFallbacks = C.BackendFallbacks.load();
-  ArithCounters &A = arithCounters();
   S.BigIntSpills = A.Spills.load();
   S.BigIntFastOps = A.FastOps.load();
   S.BigIntSlowOps = A.SlowOps.load();
-  ExprCounters &E = exprCounters();
   S.ExprTermsInline = E.InlineOps.load();
   S.ExprTermsSpilled = E.Spills.load();
   S.SimplifyNanos = C.SimplifyNanos.load();
@@ -81,6 +81,10 @@ PipelineStatsSnapshot omega::snapshotPipelineStats() {
   S.CoalesceNanos = C.CoalesceNanos.load();
   S.SummationNanos = C.SummationNanos.load();
   return S;
+}
+
+PipelineStatsSnapshot omega::snapshotPipelineStats() {
+  return snapshotStats(pipelineStats(), arithCounters(), exprCounters());
 }
 
 namespace {

@@ -79,7 +79,40 @@ struct PipelineCounters {
   void reset();
 };
 
-/// The process-wide counter instance.
+/// IR-layer observability counters (the flat term storage of
+/// presburger/AffineExpr.h; surfaced through snapshotPipelineStats()).
+/// Spills — heap term arrays materialized for expressions wider than the
+/// inline capacity — are always counted.  Per-operation inline tallies are
+/// gated behind the same CountOps flag as the BigInt fast/slow counters.
+/// Defined here rather than next to AffineExpr so QueryStatsBlock
+/// (support/QueryContext.h) can hold one per query.
+struct ExprCounters {
+  std::atomic<uint64_t> Spills{0};    ///< Heap term arrays allocated.
+  std::atomic<uint64_t> InlineOps{0}; ///< Term mutations completed inline.
+};
+
+struct ArithCounters; // support/BigInt.h
+
+namespace detail {
+inline ExprCounters ExprStats;
+/// Per-thread redirect targets installed by QueryContextScope
+/// (support/QueryContext.h): when non-null, counter traffic on this thread
+/// lands in the active query's block instead of the process-wide globals.
+inline thread_local PipelineCounters *ActivePipelineStats = nullptr;
+inline thread_local ExprCounters *ActiveExprStats = nullptr;
+} // namespace detail
+
+/// The expression counters ops on this thread tally into: the active
+/// query's block under a stats-collecting QueryContextScope, else the
+/// process-wide instance.
+inline ExprCounters &exprCounters() {
+  return detail::ActiveExprStats ? *detail::ActiveExprStats
+                                 : detail::ExprStats;
+}
+
+/// The counter instance work on this thread attributes to: the active
+/// query's block under a stats-collecting QueryContextScope, else the
+/// process-wide instance.
 PipelineCounters &pipelineStats();
 
 /// A plain copy of the counters at one instant.
@@ -93,11 +126,13 @@ struct PipelineStatsSnapshot {
   uint64_t AutomatonDfaStates, AutomatonProductStates, AutomatonTransitions,
       EnumeratedPoints, BackendFallbacks;
   // Arithmetic layer: limb (heap) representations produced, and the
-  // fast/slow per-op tallies (nonzero only under setArithOpCounting).
+  // fast/slow per-op tallies (nonzero only under
+  // CountOptions::CountArithOps).
   uint64_t BigIntSpills, BigIntFastOps, BigIntSlowOps;
   // IR term storage (presburger/AffineExpr.h): mutations completed in the
-  // inline term buffer (gated by setArithOpCounting, like the per-op
-  // BigInt tallies) and heap term arrays materialized past InlineCapacity.
+  // inline term buffer (gated by CountOptions::CountArithOps, like the
+  // per-op BigInt tallies) and heap term arrays materialized past
+  // InlineCapacity.
   uint64_t ExprTermsInline, ExprTermsSpilled;
   uint64_t SimplifyNanos, DisjointNanos, CoalesceNanos, SummationNanos;
 
@@ -107,6 +142,13 @@ struct PipelineStatsSnapshot {
   std::string toJson() const;
 };
 
+/// A snapshot of an explicit counter triple (a per-query block, or the
+/// globals via snapshotPipelineStats()).
+PipelineStatsSnapshot snapshotStats(const PipelineCounters &P,
+                                    const ArithCounters &A,
+                                    const ExprCounters &E);
+
+/// Snapshot of the counters this thread currently resolves to.
 PipelineStatsSnapshot snapshotPipelineStats();
 
 /// RAII: adds the elapsed wall time to one of the phase counters.

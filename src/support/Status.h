@@ -64,6 +64,53 @@ enum class [[nodiscard]] CountStatus {
 
 const char *countStatusName(CountStatus S);
 
+/// The machine-readable outcome vocabulary shared by every query surface:
+/// CountResult::outcome() produces one, the omegad wire protocol carries
+/// it verbatim (one byte), and the tools derive their exit codes from it
+/// (queryOutcomeExitCode) — so a scripted client and a socket client
+/// dispatch on the same codes.  Values are wire format: never renumber,
+/// only append.
+///
+/// Three bands: answers (0-9, query produced a usable result), input
+/// diagnostics (10-19, this query can never succeed as posed), transient
+/// service conditions (20-29, the same query may succeed later).
+enum class QueryOutcome : unsigned char {
+  // Answers.
+  Exact = 0,           ///< Exact count / sum.
+  Bounded = 1,         ///< Budget tripped; certified bounds returned.
+  Unbounded = 2,       ///< Provably infinite solution set.
+  // Input diagnostics (map 1:1 from ErrorKind).
+  ParseError = 10,
+  InvalidInput = 11,
+  Unsupported = 12,
+  IoError = 13,
+  BudgetExhausted = 14, ///< Budget tripped with no usable bounds.
+  InternalError = 15,
+  // Transient service conditions (omegad admission control).
+  Overloaded = 20,     ///< Queue full; resubmit later.
+  MalformedFrame = 21, ///< Request frame undecodable; connection closed.
+  ShuttingDown = 22,   ///< Server draining; resubmit elsewhere/later.
+};
+
+const char *queryOutcomeName(QueryOutcome O);
+
+/// True for the 0-9 band: the query produced a usable result.
+inline bool queryOutcomeIsAnswer(QueryOutcome O) {
+  return static_cast<unsigned>(O) < 10;
+}
+
+/// The process exit code a tool reports for a query with this outcome:
+/// answers exit 0, input diagnostics exit 1, transient conditions exit 75
+/// (EX_TEMPFAIL — "try again later", the sendmail convention).
+/// MalformedFrame exits 1, not 75: it reports a client bug.
+int queryOutcomeExitCode(QueryOutcome O);
+
+/// Maps a non-Error CountStatus into the answer band.
+QueryOutcome queryOutcomeForStatus(CountStatus S);
+
+/// Maps an ErrorKind into the diagnostic band.
+QueryOutcome queryOutcomeForError(ErrorKind K);
+
 /// A value or an Error — the pipeline's expected-like return channel.
 template <typename T> class [[nodiscard]] Result {
 public:

@@ -1,19 +1,26 @@
-//===- support/ThreadPool.cpp - Fixed-size worker pool -------------------===//
+//===- support/ThreadPool.cpp - Shared worker pool -----------------------===//
 //
 // Locking discipline (checked by -Wthread-safety, DESIGN.md §13): one
-// capability, Impl::M, guards the whole batch state — the job pointer,
-// index/done counters, first-error slot, shutdown flag, and the thread
-// vector.  Workers drop M around the user callback (the only unlocked
-// region) and reacquire it to record completion.  Condition variables are
-// internally synchronized and the predicate loops are written out long-hand
-// because the analysis cannot look inside a wait-predicate lambda.
+// capability, Impl::M, guards the whole pool state — the batch queue, the
+// thread vector, the shutdown flag, and (by documented convention, see
+// Batch) every field of every queued batch.  Workers drop M around the
+// user callback (the only unlocked region) and reacquire it to record
+// completion.  Condition variables are internally synchronized and the
+// predicate loops are written out long-hand because the analysis cannot
+// look inside a wait-predicate lambda.
+//
+// Batches are stack frames of their enqueuing callers.  That is safe
+// because a worker only ever touches a Batch while holding M *and* while
+// the batch is still linked into Impl::Queue — and the enqueuing caller
+// unlinks it (under M) before its frame unwinds, after Done == N.
 //
 //===----------------------------------------------------------------------===//
 
 #include "support/ThreadPool.h"
 
+#include "support/QueryContext.h"
+
 #include <algorithm>
-#include <atomic>
 #include <thread>
 
 #ifdef OMEGA_PARALLEL
@@ -27,20 +34,17 @@
 using namespace omega;
 
 namespace {
-std::atomic<unsigned> Workers{0};
 thread_local bool IsWorkerThread = false;
 } // namespace
 
-void omega::setWorkerCount(unsigned N) { Workers.store(N); }
-
-unsigned omega::workerCount() { return Workers.load(); }
-
 unsigned omega::effectiveParallelWidth() {
 #ifdef OMEGA_PARALLEL
+  const QueryContext *Ctx = activeQueryContext();
+  unsigned Want = Ctx ? Ctx->Workers : 0;
   // hardware_concurrency() may report 0 when unknown; treat that as 1 so
   // the conservative (serial) gate wins.
   unsigned Cores = std::max(1u, std::thread::hardware_concurrency());
-  return std::min(workerCount(), Cores);
+  return std::min(Want, Cores);
 #else
   return 1;
 #endif
@@ -53,40 +57,77 @@ bool ThreadPool::onWorkerThread() { return IsWorkerThread; }
 struct ThreadPool::Impl {
   Mutex M;
   ConditionVariable WorkCv;
-  ConditionVariable DoneCv;
   std::vector<std::thread> Threads OMEGA_GUARDED_BY(M);
-
-  // The current batch.  Fn is non-null while a batch is active; workers
-  // claim indices from Next and count completions into Done.
-  const std::function<void(size_t)> *Fn OMEGA_GUARDED_BY(M) = nullptr;
-  size_t N OMEGA_GUARDED_BY(M) = 0;
-  size_t Next OMEGA_GUARDED_BY(M) = 0;
-  size_t Done OMEGA_GUARDED_BY(M) = 0;
-  std::exception_ptr FirstError OMEGA_GUARDED_BY(M);
   bool Shutdown OMEGA_GUARDED_BY(M) = false;
 
-  void workerLoop() {
-    IsWorkerThread = true;
-    UniqueLock Lock(M);
-    while (true) {
-      while (!Shutdown && !(Fn && Next < N))
-        WorkCv.wait(Lock);
-      if (Shutdown)
-        return;
-      size_t I = Next++;
-      const std::function<void(size_t)> *Job = Fn;
-      Lock.unlock();
+  // One in-flight run() call.  Lives on the enqueuing caller's stack; every
+  // field is guarded by Impl::M for as long as the batch is linked into
+  // Queue.  The fields carry no OMEGA_GUARDED_BY annotations because the
+  // capability belongs to the enclosing Impl, which a free-standing struct
+  // member cannot name — the discipline is enforced by the queue protocol
+  // above instead.
+  struct Batch {
+    const std::function<void(size_t)> *Fn;
+    size_t N;
+    size_t Next = 0;           ///< Next unclaimed index.
+    size_t Done = 0;           ///< Completed indices.
+    unsigned Limit;            ///< Max concurrent threads (incl. caller).
+    unsigned Active = 0;       ///< Threads currently inside runSome().
+    std::exception_ptr FirstError;
+    ConditionVariable DoneCv;  ///< Signalled when Done reaches N.
+  };
+
+  std::vector<Batch *> Queue OMEGA_GUARDED_BY(M);
+
+  /// The first queued batch with unclaimed work and headroom under its
+  /// width limit, or null.  FIFO: earlier run() calls drain first.
+  Batch *claimable() OMEGA_REQUIRES(M) {
+    for (Batch *B : Queue)
+      if (B->Next < B->N && B->Active < B->Limit)
+        return B;
+    return nullptr;
+  }
+
+  /// Claims and runs indices of \p B until none remain (or another thread
+  /// claims the rest).  Entered and exited holding M; unlocks the raw
+  /// mutex around each callback (the caller's UniqueLock, if any, is
+  /// bypassed deliberately — it forwards to the same M and its Held flag
+  /// is consistent because M is re-held on return).
+  void runSome(Batch &B) OMEGA_REQUIRES(M) {
+    ++B.Active;
+    while (B.Next < B.N) {
+      size_t I = B.Next++;
+      const std::function<void(size_t)> *Job = B.Fn;
+      M.unlock();
       std::exception_ptr Err;
       try {
         (*Job)(I);
       } catch (...) {
         Err = std::current_exception();
       }
-      Lock.lock();
-      if (Err && !FirstError)
-        FirstError = Err;
-      if (++Done == N)
-        DoneCv.notify_all();
+      M.lock();
+      if (Err && !B.FirstError)
+        B.FirstError = Err;
+      if (++B.Done == B.N)
+        B.DoneCv.notify_all();
+    }
+    --B.Active;
+  }
+
+  void workerLoop() {
+    IsWorkerThread = true;
+    UniqueLock Lock(M);
+    while (true) {
+      Batch *B = claimable();
+      while (!Shutdown && !B) {
+        WorkCv.wait(Lock);
+        B = claimable();
+      }
+      if (Shutdown)
+        return;
+      // After draining B, loop: another queued batch may have headroom now
+      // that this thread is free (workers migrate between batches).
+      runSome(*B);
     }
   }
 
@@ -115,11 +156,11 @@ ThreadPool::~ThreadPool() {
   delete P;
 }
 
-void ThreadPool::run(size_t N, const std::function<void(size_t)> &Fn) {
-  unsigned W = workerCount();
+void ThreadPool::run(size_t N, unsigned Width,
+                     const std::function<void(size_t)> &Fn) {
   if (N == 0)
     return;
-  if (W < 2 || IsWorkerThread) {
+  if (Width < 2 || IsWorkerThread) {
     for (size_t I = 0; I < N; ++I)
       Fn(I);
     return;
@@ -127,17 +168,25 @@ void ThreadPool::run(size_t N, const std::function<void(size_t)> &Fn) {
   std::exception_ptr Err;
   {
     UniqueLock Lock(P->M);
-    P->ensureThreads(W);
-    P->Fn = &Fn;
-    P->N = N;
-    P->Next = 0;
-    P->Done = 0;
-    P->FirstError = nullptr;
+    // Every index runs on a pool thread — the caller only waits.  Keeping
+    // the caller out preserves the pre-server contract that a parallel
+    // batch demonstrably runs on workers (TraceTest pins it: worker spans
+    // must exist at Width >= 2), at the cost of one blocked thread per
+    // in-flight batch.  The pool only ever grows; threads are shared
+    // across all concurrent batches.
+    P->ensureThreads(Width);
+    Impl::Batch B;
+    B.Fn = &Fn;
+    B.N = N;
+    B.Limit = Width;
+    P->Queue.push_back(&B);
     P->WorkCv.notify_all();
-    while (P->Done != P->N)
-      P->DoneCv.wait(Lock);
-    P->Fn = nullptr;
-    Err = P->FirstError;
+    while (B.Done != B.N)
+      B.DoneCv.wait(Lock);
+    // Unlink before unwinding: workers only touch a batch that is still
+    // queued, so after this erase (still under M) B is exclusively ours.
+    P->Queue.erase(std::find(P->Queue.begin(), P->Queue.end(), &B));
+    Err = B.FirstError;
   }
   if (Err)
     std::rethrow_exception(Err);
@@ -150,7 +199,8 @@ struct ThreadPool::Impl {};
 ThreadPool::ThreadPool() : P(nullptr) {}
 ThreadPool::~ThreadPool() {}
 
-void ThreadPool::run(size_t N, const std::function<void(size_t)> &Fn) {
+void ThreadPool::run(size_t N, unsigned,
+                     const std::function<void(size_t)> &Fn) {
   for (size_t I = 0; I < N; ++I)
     Fn(I);
 }

@@ -1,23 +1,26 @@
-//===- support/ThreadPool.h - Fixed-size worker pool -----------*- C++ -*-===//
+//===- support/ThreadPool.h - Shared worker pool ---------------*- C++ -*-===//
 //
 // Part of OmegaCount (reproduction of Pugh, PLDI 1994).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small fixed-size thread pool used to fan out independent disjunct
-/// work items (DNF clauses, splinter groups, per-clause summations).
+/// A shared worker pool used to fan out independent disjunct work items
+/// (DNF clauses, splinter groups, per-clause summations).
 ///
-/// The pool itself is policy-free: it runs `Fn(0) .. Fn(N-1)` on worker
-/// threads and blocks the caller until all indices complete.  Determinism
-/// of the *results* is the callers' responsibility — the omega pipeline
-/// achieves it by giving every index its own deterministic wildcard scope
-/// (see presburger/Parallel.h) and by writing each index's output to its
-/// own slot.
+/// The pool itself is policy-free: it runs `Fn(0) .. Fn(N-1)` with at most
+/// `Width` pool threads working the batch concurrently and blocks the
+/// caller until all indices complete.  Several
+/// batches may be in flight at once — omegad serves concurrent queries,
+/// each fanning out under its own per-query width — and the pool
+/// interleaves them over one shared set of threads.  Determinism of the
+/// *results* is the callers' responsibility — the omega pipeline achieves
+/// it by giving every index its own deterministic wildcard scope (see
+/// presburger/Parallel.h) and by writing each index's output to its own
+/// slot.
 ///
 /// When the OMEGA_PARALLEL CMake option is OFF this header still compiles,
-/// but run() degrades to a serial loop and setWorkerCount() is recorded
-/// without effect, so no std::thread is ever created.
+/// but run() degrades to a serial loop, so no std::thread is ever created.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,39 +32,34 @@
 
 namespace omega {
 
-/// Sets the number of worker threads used for disjunct fan-out.  0 and 1
-/// both mean "serial": all work runs inline on the calling thread, and the
-/// pipeline is required to produce bit-identical results for every worker
-/// count (see DESIGN.md §8).  Thread-safe; takes effect on the next batch.
-///
-/// Deprecated shim: prefer CountOptions::Workers (omega/Omega.h), which
-/// applies per query instead of mutating process state.
-void setWorkerCount(unsigned N);
-
-/// The current worker-count knob (not the number of live threads).
-unsigned workerCount();
-
-/// The fan-out width that can actually run concurrently:
-/// min(workerCount(), hardware concurrency), and 1 when the pool is
-/// compiled out.  Phases that fan out for *throughput* (rather than for
-/// deterministic scoping) should gate on this being >= 2, so a 4-worker
-/// pool on a single-core host does not pay scheduling overhead for
-/// time-sliced pseudo-parallelism.
+/// The fan-out width that can actually run concurrently for the active
+/// query: min(QueryContext::Workers, hardware concurrency), and 1 when no
+/// context is installed or the pool is compiled out.  Phases that fan out
+/// for *throughput* (rather than for deterministic scoping) should gate on
+/// this being >= 2, so a 4-worker query on a single-core host does not pay
+/// scheduling overhead for time-sliced pseudo-parallelism.
 unsigned effectiveParallelWidth();
 
-/// The fixed-size worker pool (one per process, lazily started).
+/// The shared worker pool (one per process, lazily started).
 class ThreadPool {
 public:
   /// The process-wide pool instance.
   static ThreadPool &instance();
 
-  /// Runs Fn(0..N-1) across the workers and blocks until every index has
-  /// completed.  Worker threads are started lazily up to workerCount().
-  /// Falls back to a serial loop when workerCount() < 2 or the pool was
-  /// compiled out.  The first exception thrown by any Fn(i) is rethrown
-  /// in the caller after the batch drains.  Not reentrant: must not be
-  /// called from inside a worker (callers run nested batches inline).
-  void run(size_t N, const std::function<void(size_t)> &Fn);
+  /// Runs Fn(0..N-1) and blocks until every index has completed.  At most
+  /// \p Width pool threads work the batch concurrently (threads are
+  /// started lazily up to the largest Width seen and shared by all
+  /// batches).  Falls back to a serial loop when Width < 2 or the
+  /// caller is itself a pool worker (nested batches run inline, keeping
+  /// per-batch nesting deterministic).  The first exception thrown by any
+  /// Fn(i) is rethrown in the caller after the batch drains.  Safe to call
+  /// from any number of threads at once: each call is its own batch, and
+  /// batches interleave over the shared threads in FIFO order.
+  ///
+  /// Fn runs on pool threads with none of the caller's thread-local state;
+  /// callers needing the query context on workers re-install it inside Fn
+  /// (presburger/Parallel.cpp does).
+  void run(size_t N, unsigned Width, const std::function<void(size_t)> &Fn);
 
   /// True iff the calling thread is a pool worker executing a batch.
   static bool onWorkerThread();

@@ -12,6 +12,7 @@
 
 #include "support/Trace.h"
 
+#include "support/QueryContext.h"
 #include "support/ThreadAnnotations.h"
 
 #include <algorithm>
@@ -181,6 +182,13 @@ std::shared_ptr<const TraceData> omega::stopTracing() {
 
 TraceSpan::TraceSpan(const char *Name) : Rec(nullptr) {
   if (!tracingEnabled())
+    return;
+  // Participation gate: while some query holds the (single, process-wide)
+  // trace session, threads running a *different* query must not record
+  // into it.  This constructor is the one place spans are born, so gating
+  // here covers the whole subsystem; with no span open, traceCount /
+  // traceAnnotate / currentTraceSpan already no-op through TLS.Open.
+  if (const QueryContext *Ctx = activeQueryContext(); Ctx && !Ctx->TraceParticipant)
     return;
   // Tracing-on cost is not gated; the open-span stack is intrusive and
   // per-thread, released in ~TraceSpan.  omegatidy: allow(naked-new)

@@ -11,7 +11,7 @@
 
 #include "presburger/Parser.h"
 #include "support/Budget.h"
-#include "support/ThreadPool.h"
+#include "support/QueryContext.h"
 #include "tools/FormulaFile.h"
 
 #include <gtest/gtest.h>
@@ -59,14 +59,15 @@ TEST(BadInputCorpusTest, CorpusIsNonEmpty) {
 
 TEST(BadInputCorpusTest, EveryFileYieldsRecoverableDiagnostic) {
   for (unsigned Workers : {0u, 4u}) {
-    setWorkerCount(Workers);
+    QueryContext Ctx;
+    Ctx.Workers = Workers;
+    QueryContextScope Scope(Ctx);
     for (const std::string &Path : corpusFiles()) {
       std::string Diag = diagnoseFile(Path);
       EXPECT_FALSE(Diag.empty())
           << Path << " produced no diagnostic at " << Workers << " workers";
     }
   }
-  setWorkerCount(0);
 }
 
 TEST(BadInputCorpusTest, DirectiveDiagnosticsCarryLineNumbers) {

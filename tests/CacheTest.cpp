@@ -180,7 +180,7 @@ std::vector<Conjunct> randomConjuncts(unsigned Seed, int Count) {
 /// RAII: restores the default cache capacity and a clean cache.
 struct CacheGuard {
   ~CacheGuard() {
-    setConjunctCacheCapacity(size_t(1) << 14);
+    configureConjunctCache(size_t(1) << 14);
     clearConjunctCache();
   }
 };
@@ -190,11 +190,11 @@ TEST(ConjunctCache, CachedMatchesUncached) {
   std::vector<Conjunct> Pool = randomConjuncts(123, 24);
 
   std::vector<bool> Uncached;
-  setConjunctCacheCapacity(0);
+  configureConjunctCache(0);
   for (const Conjunct &C : Pool)
     Uncached.push_back(feasible(C));
 
-  setConjunctCacheCapacity(size_t(1) << 14);
+  configureConjunctCache(size_t(1) << 14);
   clearConjunctCache();
   for (size_t Round = 0; Round < 2; ++Round)
     for (size_t I = 0; I < Pool.size(); ++I)
@@ -212,7 +212,7 @@ TEST(ConjunctCache, ProjectionCachedMatchesUncached) {
   std::vector<Conjunct> Pool = randomConjuncts(456, 12);
 
   std::vector<std::string> Uncached;
-  setConjunctCacheCapacity(0);
+  configureConjunctCache(0);
   for (const Conjunct &C : Pool) {
     std::string S;
     for (const Conjunct &R : projectVars(C, {"y"}, ShadowMode::Exact))
@@ -220,7 +220,7 @@ TEST(ConjunctCache, ProjectionCachedMatchesUncached) {
     Uncached.push_back(S);
   }
 
-  setConjunctCacheCapacity(size_t(1) << 14);
+  configureConjunctCache(size_t(1) << 14);
   clearConjunctCache();
   for (size_t Round = 0; Round < 2; ++Round)
     for (size_t I = 0; I < Pool.size(); ++I) {
@@ -234,7 +234,7 @@ TEST(ConjunctCache, ProjectionCachedMatchesUncached) {
 
 TEST(ConjunctCache, BoundedSizeEvicts) {
   CacheGuard Guard;
-  setConjunctCacheCapacity(4);
+  configureConjunctCache(4);
   clearConjunctCache();
   std::vector<Conjunct> Pool = randomConjuncts(789, 16);
   for (const Conjunct &C : Pool)
@@ -248,7 +248,7 @@ TEST(ConjunctCache, BoundedSizeEvicts) {
 
 TEST(ConjunctCache, ClearResetsEntriesAndStats) {
   CacheGuard Guard;
-  setConjunctCacheCapacity(size_t(1) << 14);
+  configureConjunctCache(size_t(1) << 14);
   clearConjunctCache();
   std::vector<Conjunct> Pool = randomConjuncts(321, 8);
   for (const Conjunct &C : Pool)

@@ -16,7 +16,6 @@
 #include "omega/Omega.h"
 #include "presburger/Parser.h"
 #include "presburger/Var.h"
-#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -35,17 +34,20 @@ constexpr unsigned kWorkerCounts[] = {0, 1, 4};
 /// returns the printed piecewise answer.
 std::string countToString(const std::string &Text,
                           const std::vector<std::string> &Vars,
-                          unsigned Workers, size_t CacheCapacity) {
-  setWorkerCount(Workers);
-  setConjunctCacheCapacity(CacheCapacity);
+                          unsigned Workers, bool CacheEnabled) {
   clearConjunctCache();
   resetWildcardState();
   ParseResult R = parseFormula(Text);
   EXPECT_TRUE(R) << R.Error << " in: " << Text;
   if (!R)
     return "<parse error>";
-  PiecewiseValue V = countSolutions(*R.Value, VarSet(Vars.begin(), Vars.end()));
-  return V.toString();
+  CountOptions Opts;
+  Opts.Workers = Workers;
+  Opts.CacheEnabled = CacheEnabled;
+  CountResult CR =
+      countSolutions(*R.Value, VarSet(Vars.begin(), Vars.end()), Opts);
+  EXPECT_NE(CR.Status, CountStatus::Error) << CR.Err.toString();
+  return CR.Value.toString();
 }
 
 /// Asserts the answer for (Text, Vars) is identical across all worker
@@ -53,17 +55,13 @@ std::string countToString(const std::string &Text,
 void expectDeterministic(const std::string &Label, const std::string &Text,
                          const std::vector<std::string> &Vars) {
   SCOPED_TRACE(Label + ": " + Text);
-  const size_t Cap = size_t(1) << 14;
-  std::string Reference = countToString(Text, Vars, 0, Cap);
+  std::string Reference = countToString(Text, Vars, 0, /*CacheEnabled=*/true);
   for (unsigned W : kWorkerCounts) {
-    std::string Got = countToString(Text, Vars, W, Cap);
+    std::string Got = countToString(Text, Vars, W, /*CacheEnabled=*/true);
     EXPECT_EQ(Got, Reference) << "workers=" << W << " diverged";
   }
-  std::string NoCache = countToString(Text, Vars, 4, /*CacheCapacity=*/0);
+  std::string NoCache = countToString(Text, Vars, 4, /*CacheEnabled=*/false);
   EXPECT_EQ(NoCache, Reference) << "cache-off diverged";
-  // Restore defaults for whatever runs next in this process.
-  setWorkerCount(0);
-  setConjunctCacheCapacity(Cap);
 }
 
 TEST(Determinism, FuzzCorpus) {

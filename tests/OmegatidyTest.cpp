@@ -264,6 +264,27 @@ TEST(Omegatidy, FindingRendersPositioned) {
   EXPECT_EQ(Fs[0].toString().rfind("src/a/B.cpp:2:12: naked-new:", 0), 0u);
 }
 
+TEST(Omegatidy, LegacyKnobSettersBanned) {
+  // The retired global setters are flagged in every tree, qualified or not:
+  // the replacement is per-query CountOptions / ServerOptions.
+  EXPECT_EQ(rulesOf(lint("src/a/B.cpp", "void f() { setWorkerCount(2); }\n")),
+            std::vector<std::string>{"legacy-knob"});
+  EXPECT_EQ(rulesOf(lint("tools/t.cpp",
+                         "omega::setConjunctCacheCapacity(1 << 10);\n")),
+            std::vector<std::string>{"legacy-knob"});
+  EXPECT_EQ(rulesOf(lint("bench/b.cpp", "setArithOpCounting(true);\n")),
+            std::vector<std::string>{"legacy-knob"});
+  // Mentions in comments or strings stay silent, like every other rule.
+  EXPECT_TRUE(lint("src/a/B.cpp",
+                   "// setWorkerCount was removed; see DESIGN.md\n"
+                   "const char *S = \"setArithOpCounting\";\n")
+                  .empty());
+  // Suppression machinery applies.
+  EXPECT_TRUE(lint("src/a/B.cpp",
+                   "setWorkerCount(2); // omegatidy: allow(legacy-knob)\n")
+                  .empty());
+}
+
 // --- On-disk fixtures ----------------------------------------------------
 
 TEST(OmegatidyFixtures, DirtyTreeFindsEverything) {
@@ -295,6 +316,9 @@ TEST(OmegatidyFixtures, DirtyTreeFindsEverything) {
   EXPECT_EQ(ImplRules, (std::multiset<std::string>{
                            "assert",          // #include <assert.h>
                            "assert",          // assert(2 + 2 == 4)
+                           "legacy-knob",     // setWorkerCount(4)
+                           "legacy-knob",     // omega::setConjunctCacheCapacity
+                           "legacy-knob",     // setArithOpCounting(true)
                            "naked-new",       // new int(3)
                            "naked-new",       // malloc(16)
                            "naked-new",       // free(Buf)

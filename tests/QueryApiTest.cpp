@@ -1,11 +1,12 @@
-//===- tests/QueryApiTest.cpp - CountOptions entry point differential ----===//
+//===- tests/QueryApiTest.cpp - CountOptions entry point contract --------===//
 //
-// The unified options-taking entry point (omega/Omega.h) must be a pure
-// repackaging of the legacy global-knob API: for any formula and any knob
-// setting, countSolutions(F, Vars, Opts) returns the *textually* identical
-// answer to configuring the process globals by hand — and it must restore
-// those globals on return, so a query nested inside legacy-configured code
-// is invisible to it.
+// The unified options-taking entry point (omega/Omega.h) is re-entrant:
+// a query's CountOptions translate into a QueryContext installed for the
+// query's duration, so knobs apply per query (never to process state) and
+// stats are a per-query block (never a racy global delta).  These tests
+// pin the contract: options-configured counts match the plain pipeline
+// textually, nested/sequential queries don't leak stats into each other,
+// and countBatch is element-wise isolated.
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,7 +16,7 @@
 #include "omega/Omega.h"
 #include "presburger/Parser.h"
 #include "presburger/Var.h"
-#include "support/ThreadPool.h"
+#include "support/QueryContext.h"
 #include "support/Trace.h"
 
 #include <gtest/gtest.h>
@@ -27,51 +28,42 @@ using namespace omega;
 
 namespace {
 
-constexpr size_t kDefaultCap = size_t(1) << 14;
-
-/// Legacy path: configure the process globals, reset, count.
-std::string legacyCount(const Formula &F, const VarSet &Vars,
-                        unsigned Workers, size_t Cap) {
-  setWorkerCount(Workers);
-  setConjunctCacheCapacity(Cap);
+/// Baseline: the plain two-argument pipeline entry (no options, no
+/// context), from reset state.
+std::string plainCount(const Formula &F, const VarSet &Vars) {
   clearConjunctCache();
   resetWildcardState();
   PiecewiseValue V = countSolutions(F, Vars);
-  setWorkerCount(0);
-  setConjunctCacheCapacity(kDefaultCap);
   return V.toString();
 }
 
-/// New path: identical knobs via CountOptions, with the process globals
-/// deliberately parked at *different* values to prove the options win.
+/// Options path under the given knobs, from reset state.  Runs inside a
+/// deliberately *different* enclosing context to prove the query's own
+/// options win over whatever environment it nests in.
 std::string optionsCount(const Formula &F, const VarSet &Vars,
-                         unsigned Workers, size_t Cap) {
-  setWorkerCount(Workers ? 0 : 2);
-  setConjunctCacheCapacity(Cap ? 0 : kDefaultCap);
+                         unsigned Workers, bool Cache) {
   clearConjunctCache();
   resetWildcardState();
+  QueryContext Enclosing;
+  Enclosing.Workers = Workers ? 0 : 2;
+  Enclosing.CacheEnabled = !Cache;
+  QueryContextScope Scope(Enclosing);
   CountOptions CO;
   CO.Workers = Workers;
-  CO.CacheEnabled = Cap > 0;
-  CO.CacheCapacity = Cap;
+  CO.CacheEnabled = Cache;
   CountResult CR = countSolutions(F, Vars, CO);
   EXPECT_TRUE(CR.Status == CountStatus::Exact ||
               CR.Status == CountStatus::Unbounded);
   EXPECT_EQ(CR.exact(), !CR.Value.isUnbounded());
-  // The parked globals must be back untouched.
-  EXPECT_EQ(workerCount(), Workers ? 0u : 2u);
-  EXPECT_EQ(conjunctCacheCapacity(), Cap ? 0u : kDefaultCap);
-  setWorkerCount(0);
-  setConjunctCacheCapacity(kDefaultCap);
   return CR.Value.toString();
 }
 
 TEST(QueryApi, DifferentialFuzzCorpus) {
   struct Config {
     unsigned Workers;
-    size_t Cap;
+    bool Cache;
   };
-  const Config Configs[] = {{0, kDefaultCap}, {4, kDefaultCap}, {4, 0}};
+  const Config Configs[] = {{0, true}, {4, true}, {4, false}};
 
   fuzz::Generator Gen(/*Seed=*/23);
   for (int Case = 0; Case < 30; ++Case) {
@@ -80,11 +72,11 @@ TEST(QueryApi, DifferentialFuzzCorpus) {
     ParseResult R = parseFormula(FC.Text);
     ASSERT_TRUE(R) << R.Error;
     VarSet Vars(FC.Vars.begin(), FC.Vars.end());
+    std::string Plain = plainCount(*R.Value, Vars);
     for (const Config &C : Configs) {
-      std::string Legacy = legacyCount(*R.Value, Vars, C.Workers, C.Cap);
-      std::string New = optionsCount(*R.Value, Vars, C.Workers, C.Cap);
-      EXPECT_EQ(New, Legacy)
-          << "workers=" << C.Workers << " cache=" << C.Cap << " diverged";
+      std::string New = optionsCount(*R.Value, Vars, C.Workers, C.Cache);
+      EXPECT_EQ(New, Plain)
+          << "workers=" << C.Workers << " cache=" << C.Cache << " diverged";
     }
   }
 }
@@ -97,13 +89,13 @@ TEST(QueryApi, SumPolynomialDifferential) {
 
   clearConjunctCache();
   resetWildcardState();
-  std::string Legacy = sumOverFormula(*R.Value, Vars, X).toString();
+  std::string Plain = sumOverFormula(*R.Value, Vars, X).toString();
 
   clearConjunctCache();
   resetWildcardState();
   CountResult CR = sumPolynomial(*R.Value, Vars, X);
   EXPECT_TRUE(CR.exact());
-  EXPECT_EQ(CR.Value.toString(), Legacy);
+  EXPECT_EQ(CR.Value.toString(), Plain);
 }
 
 TEST(QueryApi, BudgetedDifferential) {
@@ -172,6 +164,76 @@ TEST(QueryApi, StatsAreAPerQueryDelta) {
   EXPECT_EQ(Plain.Stats.FeasibilityTests, 0u);
 }
 
+TEST(QueryApi, StatsFoldIntoEnclosingCollector) {
+  // A tool- or server-level context with a stats block sees the work of
+  // queries nested beneath it — per-query isolation must not hide work
+  // from aggregate observability.
+  ParseResult R = parseFormula("1 <= i <= n && i <= j <= n");
+  ASSERT_TRUE(R) << R.Error;
+  VarSet Vars{"i", "j"};
+
+  QueryStatsBlock Outer;
+  QueryContext Ctx;
+  Ctx.Stats = &Outer;
+  QueryContextScope Scope(Ctx);
+
+  clearConjunctCache();
+  resetWildcardState();
+  CountOptions CO;
+  CO.CollectStats = true;
+  CountResult CR = countSolutions(*R.Value, Vars, CO);
+  EXPECT_GT(CR.Stats.FeasibilityTests, 0u);
+  EXPECT_EQ(snapshotQueryStats(Outer).FeasibilityTests,
+            CR.Stats.FeasibilityTests)
+      << "per-query block did not fold into the enclosing collector";
+}
+
+TEST(QueryApi, CountBatchIsolatesStatsPerElement) {
+  // Three queries of very different cost in one batch: each result's stats
+  // delta must cover exactly its own query.  The two identical bookend
+  // queries pin that: with the cache cleared between nothing, the third
+  // query hits what the first populated, so equality of the *first* and a
+  // solo rerun (plus first > third misses) proves isolation better than
+  // any smoke check.
+  ParseResult Small = parseFormula("1 <= i <= 4");
+  ParseResult Big = parseFormula("1 <= i <= n && i <= j <= n && 2*i <= 3*j");
+  ASSERT_TRUE(Small) << Small.Error;
+  ASSERT_TRUE(Big) << Big.Error;
+
+  std::vector<CountQuery> Queries(3);
+  Queries[0].F = *Big.Value;
+  Queries[0].Vars = {"i", "j"};
+  Queries[0].Opts.CollectStats = true;
+  Queries[1].F = *Small.Value;
+  Queries[1].Vars = {"i"};
+  Queries[1].Opts.CollectStats = true;
+  Queries[2] = Queries[0];
+
+  clearConjunctCache();
+  resetWildcardState();
+  std::vector<CountResult> Results = countBatch(Queries);
+  ASSERT_EQ(Results.size(), 3u);
+  for (const CountResult &CR : Results)
+    EXPECT_TRUE(CR.exact()) << CR.Err.toString();
+
+  // Element-wise answers match solo runs.
+  clearConjunctCache();
+  resetWildcardState();
+  CountResult Solo = countSolutions(*Big.Value, {"i", "j"}, Queries[0].Opts);
+  EXPECT_EQ(Results[0].Value.toString(), Solo.Value.toString());
+  EXPECT_EQ(Results[2].Value.toString(), Solo.Value.toString());
+
+  // Stats are per element: the big queries did strictly more work than the
+  // tiny one, and the first big query's delta equals the solo run's (the
+  // small query in between contributed nothing to it).
+  EXPECT_EQ(Results[0].Stats.FeasibilityTests, Solo.Stats.FeasibilityTests);
+  EXPECT_LT(Results[1].Stats.FeasibilityTests,
+            Results[0].Stats.FeasibilityTests);
+  // The third element re-ran the same formula against the batch-warm cache:
+  // its misses cannot exceed the cold first element's.
+  EXPECT_LE(Results[2].Stats.CacheMisses, Results[0].Stats.CacheMisses);
+}
+
 TEST(QueryApi, TraceHandleCapturesTheQuery) {
   ParseResult R = parseFormula(
       "exists(b: 0 <= 3*b - a <= 7 && 1 <= a - 2*b <= 5)");
@@ -195,6 +257,31 @@ TEST(QueryApi, TraceHandleCapturesTheQuery) {
   CountResult Plain = countSolutions(*R.Value, VarSet{"a"}, Off);
   EXPECT_FALSE(Plain.Trace);
   EXPECT_FALSE(tracingEnabled());
+}
+
+TEST(QueryApi, OutcomeMapsStatusAndErrors) {
+  ParseResult R = parseFormula("1 <= i <= 4");
+  ASSERT_TRUE(R) << R.Error;
+  CountResult CR = countSolutions(*R.Value, VarSet{"i"}, CountOptions{});
+  EXPECT_EQ(CR.outcome(), QueryOutcome::Exact);
+  EXPECT_EQ(queryOutcomeExitCode(CR.outcome()), 0);
+
+  // Budget exhaustion with bounds is an answer; the outcome says so.
+  ParseResult Two = parseFormula("1 <= i <= 10 || 20 <= i <= 24");
+  ASSERT_TRUE(Two) << Two.Error;
+  CountOptions CO;
+  auto Budget = EffortBudget::parse("clauses=1");
+  ASSERT_TRUE(Budget.ok());
+  CO.Budget = *Budget;
+  CountResult Bounded = countSolutions(*Two.Value, VarSet{"i"}, CO);
+  ASSERT_EQ(Bounded.Status, CountStatus::Bounded);
+  EXPECT_EQ(Bounded.outcome(), QueryOutcome::Bounded);
+  EXPECT_EQ(queryOutcomeExitCode(Bounded.outcome()), 0);
+
+  // Transient service conditions sit in their own exit-code band.
+  EXPECT_EQ(queryOutcomeExitCode(QueryOutcome::Overloaded), 75);
+  EXPECT_EQ(queryOutcomeExitCode(QueryOutcome::ShuttingDown), 75);
+  EXPECT_EQ(queryOutcomeExitCode(QueryOutcome::MalformedFrame), 1);
 }
 
 } // namespace

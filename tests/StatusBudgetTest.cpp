@@ -11,8 +11,8 @@
 #include "counting/Summation.h"
 #include "presburger/Parser.h"
 #include "support/Budget.h"
+#include "support/QueryContext.h"
 #include "support/Status.h"
-#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -233,14 +233,15 @@ TEST(BudgetedCountTest, DegradedOutputIdenticalAcrossWorkerCounts) {
   B.MaxRecursionDepth = 1;
   std::vector<std::string> Renderings;
   for (unsigned Workers : {0u, 1u, 4u}) {
-    setWorkerCount(Workers);
+    QueryContext Ctx;
+    Ctx.Workers = Workers;
+    QueryContextScope Scope(Ctx);
     BudgetedCount BC = countSolutionsBudgeted(parseOk(Text), {"i", "j"}, B);
     EXPECT_EQ(BC.Status, CountStatus::Bounded) << Workers << " workers";
     std::ostringstream OS;
     OS << BC.TrippedLimit << " | " << BC.Lower << " | " << BC.Upper;
     Renderings.push_back(OS.str());
   }
-  setWorkerCount(0);
   EXPECT_EQ(Renderings[0], Renderings[1]);
   EXPECT_EQ(Renderings[0], Renderings[2]);
 }

@@ -17,7 +17,6 @@
 #include "omega/Omega.h"
 #include "presburger/Parser.h"
 #include "presburger/Var.h"
-#include "support/ThreadPool.h"
 #include "support/Trace.h"
 
 #include <gtest/gtest.h>
@@ -45,23 +44,22 @@ const char *PhaseNames[] = {"simplify",  "toDNF",      "crossConjoin",
                             "coalesce",  "summation",  "snfReparam"};
 
 /// Counts AllPhasesFormula once under tracing at the given worker count,
-/// from a fully reset state, and returns the collected spans.  The cache
-/// stays off so the set of computed (span-producing) projections cannot
-/// depend on cross-thread cache races.
+/// from a fully reset state, and returns the collected spans.  The query
+/// opts out of the cache so the set of computed (span-producing)
+/// projections cannot depend on cross-thread cache races.
 std::shared_ptr<const TraceData> traceOneCount(unsigned Workers) {
-  setWorkerCount(Workers);
-  setConjunctCacheCapacity(0);
   clearConjunctCache();
   resetWildcardState();
   ParseResult R = parseFormula(AllPhasesFormula);
   EXPECT_TRUE(R) << R.Error;
-  startTracing();
-  PiecewiseValue V = countSolutions(*R.Value, VarSet{"a"});
-  std::shared_ptr<const TraceData> Data = stopTracing();
-  EXPECT_FALSE(V.isUnbounded());
-  setWorkerCount(0);
-  setConjunctCacheCapacity(size_t(1) << 14);
-  return Data;
+  CountOptions Opts;
+  Opts.Workers = Workers;
+  Opts.CacheEnabled = false;
+  Opts.CollectTrace = true;
+  CountResult CR = countSolutions(*R.Value, VarSet{"a"}, Opts);
+  EXPECT_NE(CR.Status, CountStatus::Error) << CR.Err.toString();
+  EXPECT_FALSE(CR.Value.isUnbounded());
+  return CR.Trace;
 }
 
 /// The tree shape as a sorted multiset of root-paths ("simplify/toDNF").

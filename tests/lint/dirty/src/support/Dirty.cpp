@@ -1,5 +1,6 @@
 // omegatidy negative fixture (never compiled): expression-level
-// violations — assert in src/, naked allocation, unnamed TraceSpan.
+// violations — assert in src/, naked allocation, unnamed TraceSpan,
+// retired global-knob setters.
 
 #include <assert.h>
 
@@ -11,4 +12,10 @@ void leaky() {
   omega::TraceSpan("sub");
   free(Buf);
   delete P;
+}
+
+void knobs() {
+  setWorkerCount(4);
+  omega::setConjunctCacheCapacity(1 << 12);
+  setArithOpCounting(true);
 }

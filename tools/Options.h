@@ -20,11 +20,12 @@
 #include "counting/Backend.h"
 #include "omega/Omega.h"
 #include "support/BigInt.h"
-#include "support/ThreadPool.h"
+#include "support/QueryContext.h"
 
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 
 namespace omega {
@@ -136,15 +137,36 @@ parseSharedOption(int Argc, char **Argv, int &I, ToolOptions &Opts,
   return true;
 }
 
-/// Applies the options process-wide via the legacy knobs, for tool code
-/// paths that do not (yet) route through the CountOptions entry point
-/// (simplify-only printing, the lint sweep).
-inline void applyProcessOptions(const ToolOptions &Opts) {
-  setWorkerCount(Opts.Count.Workers);
-  setConjunctCacheCapacity(
-      Opts.Count.CacheEnabled ? Opts.Count.CacheCapacity : 0);
-  setArithOpCounting(Opts.Count.CountArithOps);
-}
+/// The tool-level query environment: a QueryContext carrying the parsed
+/// knobs plus a stats collector for the whole invocation, installed on the
+/// main thread for the tool's lifetime (the re-entrant replacement for the
+/// retired process-global setters).  Tool code paths that do not route
+/// through the CountOptions entry point (simplify-only printing, the lint
+/// sweep) read the knobs through the active context; queries that do route
+/// through it nest beneath this scope and fold their stats back into
+/// Block, so --stats at exit reports the whole run.
+class ToolQueryScope {
+public:
+  explicit ToolQueryScope(const ToolOptions &Opts) {
+    Block.Arith.CountOps.store(Opts.Count.CountArithOps,
+                               std::memory_order_relaxed);
+    Ctx.Workers = Opts.Count.Workers;
+    Ctx.CacheEnabled = Opts.Count.CacheEnabled;
+    Ctx.Stats = &Block;
+    if (Opts.Count.CacheEnabled &&
+        Opts.Count.CacheCapacity > conjunctCacheCapacity())
+      configureConjunctCache(Opts.Count.CacheCapacity);
+    Scope.emplace(Ctx);
+  }
+
+  /// This invocation's accumulated counters (for the --stats report).
+  PipelineStatsSnapshot stats() const { return snapshotQueryStats(Block); }
+
+private:
+  QueryStatsBlock Block;
+  QueryContext Ctx;
+  std::optional<QueryContextScope> Scope;
+};
 
 /// Starts the process-wide trace session when --trace/--trace-summary was
 /// given.  Call once, before the traced work.

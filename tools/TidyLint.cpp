@@ -351,6 +351,18 @@ private:
           Nx->Text == "namespace")
         report(T, "include-hygiene",
                "`using namespace` in a header leaks into every includer");
+
+      // The process-global knob setters were retired with the omegad
+      // redesign; any surviving reference (call, declaration, or shim) is
+      // a regression toward cross-query mutable state.
+      static const char *LegacyKnobs[] = {
+          "setWorkerCount", "setConjunctCacheCapacity", "setArithOpCounting"};
+      for (const char *Knob : LegacyKnobs)
+        if (T.Text == Knob || endsWith(T.Text, std::string("::") + Knob))
+          report(T, "legacy-knob",
+                 T.Text + " was removed with the global-knob API; pass "
+                 "CountOptions per query (omega/Omega.h) or configure the "
+                 "server via ServerOptions (DESIGN.md §17)");
     }
 
     guardedByRule();

@@ -25,8 +25,61 @@ run_matrix() {
   ctest --test-dir "$dir" --output-on-failure -j
   abort_free_leg "$dir"
   differential_leg "$dir"
+  server_leg "$dir"
   bench_leg "$dir"
   trace_leg "$dir"
+}
+
+# Server leg: omegad end to end in every configuration (so the wire
+# protocol, admission control, and drain paths face the sanitizers).
+# Frame-level malformed-input coverage lives in ServerTest, which the
+# ctest pass above already ran under this leg's instrumentation; here the
+# real daemon is driven through the real client:
+#   1. the example corpus over 4 concurrent connections with --check
+#      (every response recomputed in-process via countBatch and compared)
+#      and cross-connection answers required bit-identical;
+#   2. a soft-limit-0 daemon sheds every query to the budgeted bounds
+#      path, which must still answer (exit 0) and count the sheds;
+#   3. both daemons must drain and exit 0 on SIGTERM.
+server_leg() {
+  dir=$1
+  echo "=== server: $dir"
+  sock="$dir/omegad-ci.sock"
+  list="$dir/omegad-ci.batch"
+  ls "$root"/examples/formulas/*.presburger > "$list"
+
+  "$dir/tools/omegad" --socket "$sock" --max-inflight 8 &
+  pid=$!
+  i=0
+  while [ ! -S "$sock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+  "$dir/tools/omegaclient" --socket "$sock" --ping >/dev/null
+  "$dir/tools/omegaclient" --socket "$sock" --batch "$list" --check \
+    --connections 4 >/dev/null
+  "$dir/tools/omegaclient" --socket "$sock" --stats \
+    | grep -q '"schema": 5' || {
+      echo "server: stats reply missing pipeline schema" >&2; exit 1; }
+  kill -TERM "$pid"
+  code=0; wait "$pid" || code=$?
+  if [ "$code" -ne 0 ]; then
+    echo "server: omegad exited $code on SIGTERM (want 0)" >&2
+    exit 1
+  fi
+
+  "$dir/tools/omegad" --socket "$sock" --max-inflight 0 --hard-limit 8 &
+  pid=$!
+  i=0
+  while [ ! -S "$sock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+  "$dir/tools/omegaclient" --socket "$sock" --batch "$list" >/dev/null
+  "$dir/tools/omegaclient" --socket "$sock" --stats \
+    | grep -q '"shed":[1-9]' || {
+      echo "server: soft-limit-0 daemon shed nothing" >&2; exit 1; }
+  kill -TERM "$pid"
+  code=0; wait "$pid" || code=$?
+  if [ "$code" -ne 0 ]; then
+    echo "server: shed-mode omegad exited $code on SIGTERM (want 0)" >&2
+    exit 1
+  fi
+  echo "=== server: $dir clean"
 }
 
 # Differential leg: the cross-backend fuzz harness (DESIGN.md §14) run
@@ -67,12 +120,15 @@ bench_leg() {
     2>&1 | grep -q "bench_backend: ok"
   "$dir/bench/bench_ir" --quick --out "$dir/BENCH_ir.json" \
     | grep -q "bench_ir: ok"
+  "$dir/bench/bench_server" --quick --out "$dir/BENCH_server.json" \
+    | grep -q "bench_server: ok"
   if command -v python3 >/dev/null 2>&1; then
     strict=0
     case $dir in *-default) strict=1 ;; esac
     python3 - "$dir/BENCH_arith.json" "$dir/BENCH_pipeline.json" \
         "$strict" "$dir/BENCH_backend.json" "$root/BENCH_pipeline.json" \
         "$dir/BENCH_ir.json" "$root/BENCH_ir.json" \
+        "$dir/BENCH_server.json" "$root/BENCH_server.json" \
         <<'PYEOF'
 import json, sys
 arith = json.load(open(sys.argv[1]))
@@ -145,6 +201,19 @@ assert full_ir["flat_term_spills"] == 0
 assert full_ir["aggregate_speedup"] >= 3.0, \
     f"committed bench: flat terms only {full_ir['aggregate_speedup']:.2f}x " \
     "vs the map model (want >= 3x)"
+# Server gates: the quick run must stay answer-identical across its
+# cold/warm passes and connection layouts on every leg; the committed
+# full-scale BENCH_server.json must show the persistent cross-query cache
+# earning its keep — warm-cache throughput >= 1.5x cold at every measured
+# connection count (the ISSUE's bar for running a daemon at all).
+srv = json.load(open(sys.argv[8]))
+assert srv["schema"] == 1, "bench_server JSON schema drifted"
+assert srv["answers_identical"], "bench_server answers diverged"
+full_srv = json.load(open(sys.argv[9]))
+assert full_srv["schema"] == 1 and full_srv["answers_identical"]
+assert full_srv["warm_speedup_min"] >= 1.5, \
+    f"committed bench: warm cache only {full_srv['warm_speedup_min']:.2f}x " \
+    "vs cold (want >= 1.5x at every connection count)"
 if strict:
     assert arith["speedup_geomean"] >= 5.0, \
         f"fast path only {arith['speedup_geomean']:.2f}x vs spilled (want >= 5x)"
@@ -152,8 +221,10 @@ if strict:
         f"automaton only {backend['speedup']:.2f}x vs pugh (want >= 2x)"
     assert ir["aggregate_speedup"] >= 3.0, \
         f"flat terms only {ir['aggregate_speedup']:.2f}x vs map (want >= 3x)"
-print("bench json: ok (arith x%.1f, automaton x%.1f, ir x%.1f)"
-      % (arith["speedup_geomean"], backend["speedup"], ir["aggregate_speedup"]))
+print("bench json: ok (arith x%.1f, automaton x%.1f, ir x%.1f, "
+      "server warm x%.1f)"
+      % (arith["speedup_geomean"], backend["speedup"],
+         ir["aggregate_speedup"], full_srv["warm_speedup_min"]))
 PYEOF
   else
     echo "bench json: python3 unavailable, JSON checks skipped"

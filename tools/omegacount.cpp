@@ -20,10 +20,11 @@
 //   plus the shared pipeline flags of tools/Options.h:
 //   --workers/--cache/--no-cache/--budget/--stats/--trace/--trace-summary
 //
-// Exit codes: 0 = answered (exact, unbounded, or certified bounds);
-//             1 = diagnostic (bad flags, malformed input, I/O failure, or
-//                 budget exhausted with no bounds to give).  Never aborts
-//                 on any text input.
+// Exit codes derive from the shared QueryOutcome vocabulary
+// (support/Status.h, queryOutcomeExitCode): 0 = answered (exact,
+// unbounded, or certified bounds); 1 = diagnostic (bad flags, malformed
+// input, I/O failure, or budget exhausted with no bounds to give).  Never
+// aborts on any text input.
 //
 //===----------------------------------------------------------------------===//
 
@@ -203,7 +204,9 @@ int runTool(int Argc, char **Argv) {
   }
   if (FormulaText.empty())
     fail("no formula given (try --help)");
-  applyProcessOptions(TO);
+  // Install the tool-level query environment (workers, cache, stats
+  // collection) for the rest of the run; queries nest beneath it.
+  ToolQueryScope QueryScope(TO);
   const EffortBudget &Budget = TO.Count.Budget;
   Formula F = Formula::trueFormula();
   {
@@ -239,8 +242,10 @@ int runTool(int Argc, char **Argv) {
                         ? countSolutions(F, VS, TO.Count)
                         : sumPolynomial(F, VS, parseSummand(SumText),
                                         TO.Count);
-    if (R.Status == CountStatus::Error)
-      fail(R.Err.toString());
+    if (R.Status == CountStatus::Error) {
+      std::cerr << "omegacount: error: " << R.Err.toString() << "\n";
+      return queryOutcomeExitCode(R.outcome());
+    }
     std::cout << "backend: " << R.Backend;
     if (!R.BackendReason.empty())
       std::cout << " (" << R.BackendReason << ")";

@@ -241,7 +241,9 @@ int runTool(int Argc, char **Argv) {
     std::cerr << "omegalint: no inputs (try --help)\n";
     return 1;
   }
-  applyProcessOptions(TO);
+  // Install the tool-level query environment (workers, cache, stats
+  // collection) for the whole sweep.
+  ToolQueryScope QueryScope(TO);
   startToolTrace(TO);
 
   LintStats Stats;
@@ -273,7 +275,10 @@ int runTool(int Argc, char **Argv) {
     ++Stats.Problems;
   if (TO.Stats)
     std::cerr << snapshotPipelineStats().toPretty();
-  return Stats.Problems == 0 ? 0 : 1;
+  // Exit codes come from the shared QueryOutcome vocabulary: a problem in
+  // any file is an input diagnostic for the sweep as a whole.
+  return queryOutcomeExitCode(Stats.Problems == 0 ? QueryOutcome::Exact
+                                                  : QueryOutcome::InvalidInput);
 }
 
 int main(int Argc, char **Argv) {
